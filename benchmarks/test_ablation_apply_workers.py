@@ -1,0 +1,47 @@
+"""Ablation: concurrent background appliers (§4.2).
+
+"Updates to multiple keys can be applied concurrently through the
+locking of the local index table and bitmap structures."  With a single
+applier, each put's chain walk (a remote read) serialises the apply
+pipeline and the circular WAL's flow control throttles the write path;
+with several appliers, independent keys overlap their round trips.
+"""
+
+import pytest
+
+from repro.bench import run_throughput, sift_spec
+from repro.bench.calibration import BenchScale
+from repro.bench.report import series_table
+from repro.workloads import WORKLOADS
+
+WORKER_COUNTS = [1, 2, 8]
+
+
+@pytest.fixture(scope="module")
+def results():
+    scale = BenchScale()
+    out = []
+    for workers in WORKER_COUNTS:
+        spec = sift_spec(
+            cores=12, scale=scale, kv_overrides=dict(apply_workers=workers)
+        )
+        result = run_throughput(spec, WORKLOADS["write-only"], scale=scale)
+        out.append((workers, result.ops_per_sec))
+    return out
+
+
+def test_ablation_apply_workers(results, once):
+    print()
+    print(
+        once(
+            lambda: series_table(
+                "Ablation: write-only throughput vs. apply workers",
+                "concurrent appliers",
+                "ops/sec",
+                {"sift": results},
+            )
+        )
+    )
+    values = dict(results)
+    assert values[8] > values[1] * 1.3, values  # concurrency pays
+    assert values[2] >= values[1] * 0.95

@@ -1,0 +1,50 @@
+"""Ablation: the coordinator cache (§4.2 / §6.3.2).
+
+"We limit the effect of remote reads through the cache, resulting in
+read throughput similar to Raft-R."  This ablation removes / shrinks
+the cache and shows read-heavy throughput degrading toward the
+remote-read-bound regime — the design choice that lets a stateless CPU
+node compete with a leader that holds a full local replica.
+"""
+
+import pytest
+
+from repro.bench import run_throughput, sift_spec
+from repro.bench.calibration import BenchScale
+from repro.bench.report import series_table
+from repro.workloads import WORKLOADS
+
+CACHE_FRACTIONS = [0.0, 0.1, 0.5]
+
+
+@pytest.fixture(scope="module")
+def results():
+    scale = BenchScale()
+    out = []
+    for fraction in CACHE_FRACTIONS:
+        spec = sift_spec(
+            cores=12, scale=scale, kv_overrides=dict(cache_fraction=fraction)
+        )
+        result = run_throughput(spec, WORKLOADS["read-heavy"], scale=scale)
+        out.append((fraction, result.ops_per_sec))
+    return out
+
+
+def test_ablation_cache(results, once):
+    print()
+    print(
+        once(
+            lambda: series_table(
+                "Ablation: read-heavy throughput vs. cache size",
+                "cache fraction of key space",
+                "ops/sec",
+                {"sift": results},
+            )
+        )
+    )
+    values = dict(results)
+    # More cache never hurts, and the paper's 50% setting buys a
+    # significant margin over running cache-less.
+    assert values[0.1] >= values[0.0] * 0.95
+    assert values[0.5] >= values[0.1] * 0.95
+    assert values[0.5] > values[0.0] * 1.1

@@ -1,0 +1,37 @@
+"""Figure 10: deployment cost relative to Raft-R, F=2, AWS and GCP.
+
+Paper numbers: "A single Sift EC group now costs about 13% less than a
+Raft-R group.  When both erasure codes and shared backup nodes are
+used, a cost reduction of up to 56% is achieved."
+"""
+
+import pytest
+
+from repro.bench.report import bar_table
+from repro.cluster import relative_costs
+
+
+def test_fig10(once):
+    costs = once(lambda: {p: relative_costs(p, 2) for p in ("aws", "gcp")})
+    labels = list(costs["aws"].keys())
+    print()
+    print(
+        bar_table(
+            "Figure 10: cost relative to Raft-R (%), F=2, 100 groups",
+            labels,
+            {provider: [costs[provider][label] for label in labels] for provider in costs},
+            unit="% vs Raft-R",
+        )
+    )
+
+    for provider in ("aws", "gcp"):
+        c = costs[provider]
+        # "A single Sift EC group now costs about 13% less than Raft-R."
+        assert c["sift-ec"] == pytest.approx(-13.0, abs=5.0)
+        # "a cost reduction of up to 56% is achieved."
+        assert c["sift-ec + shared backups"] == pytest.approx(-56.0, abs=1.0)
+        # "Sift costs decrease relatively across all configurations when
+        # F is increased to 2."
+        f1 = relative_costs(provider, 1)
+        for label in labels:
+            assert c[label] < f1[label]

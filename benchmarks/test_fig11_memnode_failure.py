@@ -1,0 +1,98 @@
+"""Figure 11: throughput timeline through a memory-node failure (§6.5).
+
+"Read-heavy workload throughput during a memory node failure": the node
+is killed, later restarted, the coordinator incrementally copies state
+back under read locks ("throughput drops as regions of memory are
+copied over"), and the node rejoins — after which throughput returns to
+its pre-failure level.  Hot keys live at low addresses, so the paper
+sees near-worst-case impact immediately; our preloader lays keys out
+the same way.
+"""
+
+import pytest
+
+from repro.bench import run_timeline, sift_spec
+from repro.bench.calibration import BenchScale
+from repro.bench.report import series_table, sparkline
+from repro.sim.units import MS, SEC
+from repro.workloads import WORKLOADS
+
+KILL_AT = 0.6 * SEC
+RESTART_AT = 0.9 * SEC
+DURATION = 3.0 * SEC
+CLIENTS = 10
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    scale = BenchScale()
+    spec = sift_spec(cores=12, scale=scale)
+    recovered_at = []
+
+    def kill(group):
+        group.crash_memory_node(2)
+
+    def restart(group):
+        group.restart_memory_node(2)
+
+        def watch():
+            coordinator = group.serving_coordinator()
+            while coordinator.repmem.states[2] != "live":
+                yield group.fabric.sim.timeout(10 * MS)
+            recovered_at.append(group.fabric.sim.now)
+
+        group.fabric.sim.spawn(watch(), name="watch-recovery")
+
+    result = run_timeline(
+        spec,
+        WORKLOADS["read-heavy"],
+        CLIENTS,
+        DURATION,
+        events=[(KILL_AT, "memory node killed", kill), (RESTART_AT, "restarted", restart)],
+        scale=scale,
+    )
+    return result, recovered_at
+
+
+def test_fig11(timeline, once):
+    result, recovered_at = once(lambda: timeline)
+    values = [ops for _t, ops in result.series]
+    print()
+    print(
+        series_table(
+            "Figure 11: read-heavy throughput during a memory node failure",
+            "seconds",
+            "ops/sec",
+            {"sift": result.series},
+        )
+    )
+    print("timeline:", sparkline(values))
+    print("events:", result.events, "recovery completed:", bool(recovered_at))
+
+    pre = [ops for t, ops in result.series if 0.2 * SEC / 1e6 <= t < KILL_AT / 1e6]
+    pre_mean = sum(pre) / len(pre)
+
+    # The node must have fully rejoined within the run.
+    assert recovered_at, "memory node never finished recovery"
+
+    # Rebase the absolute recovery timestamp into the series' frame.
+    recovery_s = (recovered_at[0] - result.base_us) / 1e6
+    # The copy's contention straddles window boundaries: include the
+    # window the restart lands in, not just windows starting after it.
+    during = [
+        ops
+        for t, ops in result.series
+        if RESTART_AT / 1e6 - 0.1 <= t < recovery_s
+    ]
+    post = [ops for t, ops in result.series if t >= recovery_s + 0.3]
+    assert post, "no post-recovery windows measured"
+    post_mean = sum(post) / len(post)
+
+    # Throughput dips while regions are copied...
+    if during:
+        assert min(during) < pre_mean * 0.98
+    # ...and "the system returns to its pre-failure throughput level".
+    assert post_mean > 0.85 * pre_mean, (pre_mean, post_mean)
+    # The group never stops serving entirely (reads keep flowing).
+    between = [ops for t, ops in result.series if KILL_AT / 1e6 <= t < recovery_s]
+    assert min(between) > 0, "memory-node failure must not halt the group"

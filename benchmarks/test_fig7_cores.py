@@ -1,0 +1,79 @@
+"""Figure 7: throughput vs. provisioned cores, F in {1, 2}.
+
+"Performance of Sift and Raft-R with a varied number of cores ...
+These results show us how Raft nodes and Sift CPU nodes should be
+provisioned to achieve equivalent performance."  Read-heavy workload;
+the knees of these curves are what Table 2's 8/10/12-core choices and
+§6.4's normalized cost comparison rest on.
+
+Shape targets: throughput grows with cores then saturates; at equal
+throughput Raft-R needs the fewest cores, Sift more, Sift EC the most.
+"""
+
+import pytest
+
+from repro.bench import raft_spec, run_throughput, sift_spec
+from repro.bench.calibration import BenchScale
+from repro.bench.report import series_table
+from repro.workloads import WORKLOADS
+
+CORE_COUNTS = [6, 8, 10, 12]
+
+
+@pytest.fixture(scope="module")
+def results():
+    scale = BenchScale()
+    out = {}
+    for f in (1, 2):
+        for name, make in (
+            ("raft-r", lambda cores, f=f: raft_spec(f=f, cores=cores, scale=scale)),
+            ("sift", lambda cores, f=f: sift_spec(f=f, cores=cores, scale=scale)),
+            (
+                "sift-ec",
+                lambda cores, f=f: sift_spec(
+                    f=f, erasure_coding=True, cores=cores, scale=scale
+                ),
+            ),
+        ):
+            series = []
+            for cores in CORE_COUNTS:
+                result = run_throughput(
+                    make(cores), WORKLOADS["read-heavy"], scale=scale
+                )
+                series.append((cores, result.ops_per_sec))
+            out[(name, f)] = series
+    return out
+
+
+def test_fig7(results, once):
+    print()
+    print(
+        once(
+            lambda: series_table(
+                "Figure 7: read-heavy throughput vs. cores",
+                "cores",
+                "ops/sec",
+                {f"{name} (F={f})": series for (name, f), series in results.items()},
+            )
+        )
+    )
+
+    def tput(name, f, cores):
+        return dict(results[(name, f)])[cores]
+
+    for (name, f), series in results.items():
+        values = [ops for _c, ops in series]
+        # More cores never hurt much (allow 10% noise) and the curve
+        # grows from its 6-core point to its best point.
+        for earlier, later in zip(values, values[1:]):
+            assert later > earlier * 0.9, (name, f, series)
+        assert max(values) > values[0] * 1.05 or values[0] > 300_000
+
+    # Provisioning order at a fixed mid-range core count: Raft-R ahead
+    # of Sift ahead of Sift EC (Fig 7 / Table 2's 8 <= 10 <= 12 cores).
+    for f in (1, 2):
+        assert tput("raft-r", f, 8) > tput("sift", f, 8) * 0.95
+        assert tput("sift", f, 8) > tput("sift-ec", f, 8) * 0.95
+
+    # F=2 costs throughput relative to F=1 at equal cores (5 replicas).
+    assert tput("raft-r", 2, 12) <= tput("raft-r", 1, 12) * 1.1

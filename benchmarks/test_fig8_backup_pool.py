@@ -1,0 +1,70 @@
+"""Figure 8: backup-pool sizing from the failure-trace simulation.
+
+"Results of a simulation over a Google cluster trace of machine
+failures.  Estimates how many backup nodes are needed to prevent
+additional recovery time due to VM provisioning."  (§6.4.2; our trace
+is the synthetic equivalent described in DESIGN.md.)
+
+Shape targets: recovery time per fault decreases monotonically with the
+pool size and increases with the number of groups; ~6 backups suffice
+for 1000 groups and ~20 for 3000 (the sizes §6.4.3's cost analysis
+uses).
+"""
+
+import os
+
+import pytest
+
+from repro.bench.report import series_table
+from repro.cluster.backups import sweep_backup_pool
+
+GROUP_COUNTS = [10, 100, 500, 1000, 2000, 3000]
+BACKUP_COUNTS = [0, 2, 4, 6, 8, 12, 16, 20]
+REPETITIONS = int(os.environ.get("REPRO_BENCH_FIG8_REPS", "10"))
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sweep_backup_pool(GROUP_COUNTS, BACKUP_COUNTS, repetitions=REPETITIONS)
+
+
+def test_fig8(sweep, once):
+    series = {
+        f"{groups} groups": [
+            (cell.backups, cell.recovery_time_per_fault_s) for cell in row
+        ]
+        for groups, row in sweep.items()
+    }
+    print()
+    print(
+        once(
+            lambda: series_table(
+                f"Figure 8: recovery time per fault vs. backup pool "
+                f"({REPETITIONS} repetitions)",
+                "backup nodes",
+                "seconds per fault",
+                series,
+            )
+        )
+    )
+
+    def value(groups, backups):
+        return dict((c.backups, c.recovery_time_per_fault_s) for c in sweep[groups])[backups]
+
+    # Monotone in the pool size for every group count.
+    for groups, row in sweep.items():
+        times = [cell.recovery_time_per_fault_s for cell in row]
+        for earlier, later in zip(times, times[1:]):
+            assert later <= earlier + 1e-9, (groups, times)
+
+    # Monotone in the group count at zero backups.
+    zero_pool = [value(groups, 0) for groups in GROUP_COUNTS]
+    assert zero_pool == sorted(zero_pool)
+
+    # The paper's sizing: 6 backups for 1000 groups, 20 for 3000 give
+    # (essentially) no additional recovery time; small fleets need ~2.
+    assert value(1000, 6) < 0.25
+    assert value(3000, 20) < 0.25
+    assert value(100, 2) < 0.05
+    # And a too-small pool clearly does not suffice for a big fleet.
+    assert value(3000, 4) > value(3000, 20) + 0.25

@@ -1,0 +1,44 @@
+"""Figure 9: deployment cost relative to Raft-R, F=1, AWS and GCP.
+
+"Costs of deploying Sift relative to the cost of Raft-R in AWS and GCP.
+Machines provisioned for equal performance with F=1."  100 groups, a
+2-CPU-node shared backup pool (the size Figure 8's simulation
+justifies).
+
+Paper numbers: plain Sift marginally *more* expensive; erasure codes +
+shared backups reach ~35% savings.
+"""
+
+import pytest
+
+from repro.bench.report import bar_table
+from repro.cluster import relative_costs
+
+
+def test_fig9(once):
+    costs = once(lambda: {p: relative_costs(p, 1) for p in ("aws", "gcp")})
+    labels = list(costs["aws"].keys())
+    print()
+    print(
+        bar_table(
+            "Figure 9: cost relative to Raft-R (%), F=1, 100 groups",
+            labels,
+            {provider: [costs[provider][label] for label in labels] for provider in costs},
+            unit="% vs Raft-R",
+        )
+    )
+
+    for provider in ("aws", "gcp"):
+        c = costs[provider]
+        # "a single Sift and Sift EC group requires marginally higher
+        # costs than a Raft-R group" (AWS; GCP's memory price makes EC
+        # break even).
+        assert 0 < c["sift"] < 20
+        assert -5 < c["sift-ec"] < 20
+        # "once we introduce shared backup nodes and erasure codes, we
+        # see a cost reduction of up to 35%".
+        assert c["sift + shared backups"] < 0
+        assert c["sift-ec + shared backups"] == pytest.approx(-35.0, abs=1.0)
+        # Orderings within the figure.
+        assert c["sift-ec + shared backups"] < c["sift + shared backups"] < c["sift"]
+        assert c["sift-ec"] < c["sift"]

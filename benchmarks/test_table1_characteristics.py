@@ -1,0 +1,36 @@
+"""Table 1: comparison of key consensus protocol characteristics.
+
+Regenerates the qualitative comparison table and cross-checks the
+replication factors against the implementations' actual geometry.
+"""
+
+from repro.baselines import PROTOCOL_CHARACTERISTICS, characteristics_table
+from repro.baselines.characteristics import replication_factor
+from repro.baselines.epaxos import EPaxosConfig
+from repro.baselines.raft import RaftConfig
+from repro.core import SiftConfig
+
+
+def test_table1(once):
+    table = once(characteristics_table)
+    print()
+    print("Table 1: key consensus protocol characteristics")
+    print(table)
+
+    rows = {row["type"]: row for row in PROTOCOL_CHARACTERISTICS}
+    assert rows["Sift"]["resource_location"] == "Disaggregated"
+    assert rows["Sift"]["protocol"] == "1-sided RDMA"
+    assert rows["Sift"]["erasure_coding"] == "Yes"
+    assert rows["Raft"]["resource_location"] == "Coupled"
+    assert rows["DARE"]["protocol"] == "1-sided RDMA"
+    assert rows["RS-Paxos"]["erasure_coding"] == "Yes"
+
+    # Replication factors must match what the implementations deploy.
+    for f in (1, 2):
+        sift = SiftConfig(fm=f, fc=f)
+        assert replication_factor("sift", f) == {
+            "memory_nodes": sift.memory_node_count,
+            "cpu_nodes": sift.cpu_node_count,
+        }
+        assert replication_factor("raft", f)["nodes"] == RaftConfig(f=f).nodes
+        assert replication_factor("raft", f)["nodes"] == EPaxosConfig(f=f).nodes

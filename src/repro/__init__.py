@@ -1,0 +1,33 @@
+"""Reproduction of *Sift: Resource-Efficient Consensus with RDMA* (CoNEXT 2019).
+
+The package is organised as a stack of subsystems:
+
+``repro.sim``
+    Discrete-event simulation engine (virtual time, processes, CPU pools).
+``repro.net``
+    Simulated network fabric, hosts, and the client/server RPC channel.
+``repro.rdma``
+    One-sided RDMA verbs (READ / WRITE / CAS) and queue pairs over the fabric.
+``repro.storage``
+    Passive memory nodes: admin region, circular WAL, replicated memory.
+``repro.ec``
+    GF(2^8) arithmetic and Cauchy Reed-Solomon erasure codes.
+``repro.core``
+    The Sift protocol: election, heartbeats, replicated memory, recovery.
+``repro.kv``
+    The recoverable key-value store built on replicated memory.
+``repro.persist``
+    Optional persistence layer (RocksDB-substitute, WAL-to-SAN).
+``repro.baselines``
+    Raft-R, EPaxos and Disk Paxos comparison systems.
+``repro.workloads``
+    Zipfian workload generators and closed-loop client pools.
+``repro.cluster``
+    Cloud cost model, failure traces and shared-backup-pool analysis.
+``repro.bench``
+    Experiment harness regenerating every table and figure of the paper.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

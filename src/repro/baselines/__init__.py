@@ -1,0 +1,25 @@
+"""Comparison systems evaluated against Sift (§6).
+
+* :mod:`~repro.baselines.raft` — **Raft-R**, "a basic Raft-like system
+  using RDMA send/recv verbs" (§6.3.1): leader-based SMR with a complete
+  replica at the leader, a partitioned in-memory map, and follower CPUs
+  actively processing replication messages.
+* :mod:`~repro.baselines.epaxos` — **EPaxos** as evaluated in §6.3: a
+  leaderless protocol where every replica serves clients, commands carry
+  dependencies, and both reads and writes require network operations.
+* :mod:`~repro.baselines.diskpaxos` — a reference **Disk Paxos** model
+  for the Table 1 comparison (passive acceptors, per-proposer blocks).
+* :mod:`~repro.baselines.characteristics` — the protocol-characteristics
+  matrix reproduced as Table 1.
+"""
+
+from repro.baselines.characteristics import PROTOCOL_CHARACTERISTICS, characteristics_table
+from repro.baselines.epaxos import EPaxosCluster
+from repro.baselines.raft import RaftCluster
+
+__all__ = [
+    "EPaxosCluster",
+    "PROTOCOL_CHARACTERISTICS",
+    "RaftCluster",
+    "characteristics_table",
+]

@@ -1,0 +1,217 @@
+"""Disk Paxos (Gafni & Lamport, 2003) on the RDMA substrate.
+
+Sift "borrows ideas from Disk Paxos to separate processing from storage"
+(§1) and Table 1 contrasts the two, so the reproduction includes a
+working Disk Paxos core: processes reach consensus by reading and
+writing per-process *blocks* on passive disks, with no inter-process
+messages.  We host the disk blocks on the same simulated memory nodes
+Sift uses — a disk is a registered memory region, a disk access is a
+one-sided verb — which makes the structural difference from Sift
+directly observable in tests: Disk Paxos acceptors store only ballots
+and proposals (no materialised state machine), so replacing a failed
+proposer requires re-running consensus state forward, whereas a Sift
+coordinator finds both the log and the state machine in place (§2.3).
+
+Algorithm (per Gafni & Lamport): each process *p* owns block[p] on every
+disk holding ``(mbal, bal, inp)``.  To choose a value, *p*:
+
+1. **Phase 1**: writes its ballot to block[p] on every disk and reads
+   all other blocks from a majority of disks; if any block shows a
+   higher ``mbal``, *p* aborts and retries with a larger ballot.
+2. **Phase 2**: adopts the ``inp`` of the highest ``bal`` seen (or its
+   own input), writes ``(mbal, bal=mbal, inp)`` to a majority, re-reads;
+   success means ``inp`` is chosen.
+
+This module implements a single-decree instance; a sequence of instances
+forms the SMR substrate (exercised in tests, not benchmarked — the paper
+omits Disk Paxos performance because "it has different fault recovery
+properties compared to Sift, making a direct comparison unfair", §6.3.1).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from repro.net.fabric import Fabric
+from repro.net.host import Host
+from repro.rdma.errors import RdmaError
+from repro.rdma.listener import RdmaListener
+from repro.rdma.memory import MemoryRegion
+from repro.rdma.nic import Rnic
+from repro.rdma.qp import QueuePair
+from repro.sim.engine import Event
+
+__all__ = ["DiskPaxosDisk", "DiskPaxosProposer", "DiskPaxosInstance"]
+
+_BLOCK = struct.Struct("<QQI")  # mbal, bal, value length
+BLOCK_BYTES = 256
+DISK_REGION = "dpx-blocks"
+
+
+class DiskPaxosDisk:
+    """A passive 'disk': one block per proposer, exported over RDMA."""
+
+    def __init__(self, fabric: Fabric, name: str, proposers: int):
+        self.fabric = fabric
+        self.name = name
+        self.proposers = proposers
+        self.host: Host = fabric.add_host(name, cores=1)
+        self.nic = Rnic(self.host, fabric)
+        self.listener = RdmaListener(self.host)
+        self.region = MemoryRegion(DISK_REGION, BLOCK_BYTES * proposers)
+        self.listener.export(self.region, exclusive=False)
+
+    def crash(self) -> None:
+        """Fail-stop the disk."""
+        self.host.crash()
+
+
+def _encode_block(mbal: int, bal: int, value: bytes) -> bytes:
+    if len(value) > BLOCK_BYTES - _BLOCK.size:
+        raise ValueError("value too large for a Disk Paxos block")
+    return _BLOCK.pack(mbal, bal, len(value)) + value
+
+
+def _decode_block(raw: bytes) -> Tuple[int, int, bytes]:
+    mbal, bal, length = _BLOCK.unpack_from(raw)
+    value = bytes(raw[_BLOCK.size : _BLOCK.size + min(length, BLOCK_BYTES - _BLOCK.size)])
+    return mbal, bal, value
+
+
+class DiskPaxosProposer:
+    """A proposer/learner process (what Disk Paxos calls a processor)."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        name: str,
+        proposer_id: int,
+        disks: List[DiskPaxosDisk],
+        cores: int = 2,
+    ):
+        self.fabric = fabric
+        self.name = name
+        self.proposer_id = proposer_id
+        self.disks = disks
+        self.host: Host = fabric.add_host(name, cores=cores)
+        self.nic = Rnic(self.host, fabric)
+        self._qps: Dict[int, QueuePair] = {}
+        self._rng = fabric.rng.stream(f"diskpaxos:{name}")
+
+    @property
+    def quorum(self) -> int:
+        return len(self.disks) // 2 + 1
+
+    def connect(self):
+        """Process: open a QP to every reachable disk."""
+        for index, disk in enumerate(self.disks):
+            qp = QueuePair(self.nic, disk.listener, name=f"dpx-{self.name}-{index}")
+            try:
+                yield self.host.spawn(qp.connect([DISK_REGION]))
+            except Exception:
+                continue
+            self._qps[index] = qp
+        if len(self._qps) < self.quorum:
+            raise RdmaError("cannot reach a majority of disks")
+
+    def propose(self, value: bytes, max_rounds: int = 64):
+        """Process: run Disk Paxos until a value is *chosen*; returns it."""
+        ballot = self.proposer_id + 1
+        total = len(self.disks)
+        for _round in range(max_rounds):
+            outcome = yield from self._ballot_round(ballot, value)
+            if outcome is not None:
+                return outcome
+            # Abort: someone saw a higher mbal.  Back off and retry higher.
+            ballot += total + self._rng.randrange(1, 4) * total
+            yield self.host.sim.timeout(self._rng.uniform(50.0, 500.0))
+        raise RdmaError(f"no value chosen after {max_rounds} ballots")
+
+    # -- one ballot --------------------------------------------------------------
+
+    def _ballot_round(self, ballot: int, my_value: bytes):
+        # Phase 1: write (mbal=ballot) to our block, read all blocks.
+        mine = _encode_block(ballot, 0, b"")
+        blocks = yield from self._write_and_read_all(mine)
+        if blocks is None:
+            return None
+        highest_bal, adopted = 0, None
+        for other_blocks in blocks:
+            for pid, (mbal, bal, val) in other_blocks.items():
+                if pid != self.proposer_id and mbal > ballot:
+                    return None  # abort: a higher ballot is active
+                if bal > highest_bal:
+                    highest_bal, adopted = bal, val
+        choice = adopted if adopted else my_value
+        # Phase 2: write (mbal, bal=ballot, choice), re-read for conflicts.
+        mine = _encode_block(ballot, ballot, choice)
+        blocks = yield from self._write_and_read_all(mine)
+        if blocks is None:
+            return None
+        for other_blocks in blocks:
+            for pid, (mbal, _bal, _val) in other_blocks.items():
+                if pid != self.proposer_id and mbal > ballot:
+                    return None
+        return choice
+
+    def _write_and_read_all(self, my_block: bytes):
+        """Write our block and read everyone's, on a majority of disks.
+
+        Returns a list (one element per responding disk) of
+        ``{proposer_id: decoded block}``, or None if no majority responded.
+        """
+        my_offset = self.proposer_id * BLOCK_BYTES
+        results = []
+        responded = 0
+        pending: List[Tuple[int, Event]] = []
+        for index, qp in list(self._qps.items()):
+            write = qp.write(DISK_REGION, my_offset, my_block)
+            pending.append((index, write))
+        for index, write in pending:
+            try:
+                yield write
+            except RdmaError:
+                self._qps.pop(index, None)
+                continue
+            reads = {}
+            failed = False
+            for pid in range(self._proposer_count()):
+                try:
+                    raw = yield self._qps[index].read(
+                        DISK_REGION, pid * BLOCK_BYTES, BLOCK_BYTES
+                    )
+                except (RdmaError, KeyError):
+                    self._qps.pop(index, None)
+                    failed = True
+                    break
+                reads[pid] = _decode_block(raw)
+            if failed:
+                continue
+            results.append(reads)
+            responded += 1
+        if responded < self.quorum:
+            return None
+        return results
+
+    def _proposer_count(self) -> int:
+        return self.disks[0].proposers
+
+
+class DiskPaxosInstance:
+    """Convenience wrapper: disks + proposers for one consensus instance."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        disks: int = 3,
+        proposers: int = 2,
+        name: str = "dpx",
+    ):
+        self.disks = [
+            DiskPaxosDisk(fabric, f"{name}-disk{i}", proposers) for i in range(disks)
+        ]
+        self.proposers = [
+            DiskPaxosProposer(fabric, f"{name}-p{i}", i, self.disks)
+            for i in range(proposers)
+        ]

@@ -1,0 +1,150 @@
+"""Command-line experiment runner.
+
+``python -m repro.bench.cli <experiment>`` regenerates one of the
+paper's tables/figures (or an ablation) and prints it, without going
+through pytest.  Scale is controlled by the same ``REPRO_BENCH_*``
+environment variables the benchmarks use.
+
+Examples::
+
+    python -m repro.bench.cli table1
+    python -m repro.bench.cli fig9 fig10
+    REPRO_BENCH_MEASURE_MS=300 python -m repro.bench.cli fig5
+    python -m repro.bench.cli throughput --system sift-ec --workload mixed
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import characteristics_table
+from repro.bench.calibration import BenchScale
+from repro.bench.report import bar_table, kv_table, series_table
+from repro.bench.runner import run_throughput
+from repro.bench.systems import epaxos_spec, raft_spec, sift_spec
+from repro.cluster import relative_costs
+from repro.cluster.backups import sweep_backup_pool
+from repro.cluster.provision import TARGET_THROUGHPUT, machine_table
+from repro.workloads import WORKLOADS
+
+__all__ = ["main"]
+
+
+def _spec(name: str, scale: BenchScale, cores=None):
+    if name == "sift":
+        return sift_spec(cores=cores, scale=scale)
+    if name == "sift-ec":
+        return sift_spec(erasure_coding=True, cores=cores, scale=scale)
+    if name == "raft-r":
+        return raft_spec(cores=cores or 8, scale=scale)
+    if name == "epaxos":
+        return epaxos_spec(cores=cores or 8, scale=scale)
+    raise SystemExit(f"unknown system: {name}")
+
+
+def cmd_table1(_args, _scale) -> None:
+    print(characteristics_table())
+
+
+def cmd_table2(_args, _scale) -> None:
+    rows = []
+    for f in (1, 2):
+        rows.append((f"-- F={f} (target {TARGET_THROUGHPUT[f]:,} ops/s) --", ""))
+        for name, spec in machine_table(f):
+            rows.append((name, f"{spec.cores} cores, {spec.memory_gb} GB"))
+    print(kv_table("Table 2: normalized machine configurations", rows))
+
+
+def cmd_fig5(_args, scale) -> None:
+    mixes = list(WORKLOADS)
+    rows = {}
+    for name in ("epaxos", "sift-ec", "sift", "raft-r"):
+        spec = _spec(name, scale, cores=12)
+        clients = scale.clients * 3 if name == "epaxos" else scale.clients
+        rows[name] = [
+            run_throughput(spec, WORKLOADS[mix], n_clients=clients, scale=scale).ops_per_sec
+            for mix in mixes
+        ]
+        print(f"  [{name}] done", file=sys.stderr)
+    print(bar_table("Figure 5: throughput by workload (F=1)", mixes, rows))
+
+
+def cmd_fig8(_args, _scale) -> None:
+    groups = [10, 100, 500, 1000, 2000, 3000]
+    backups = [0, 2, 4, 6, 8, 12, 16, 20]
+    sweep = sweep_backup_pool(groups, backups, repetitions=10)
+    series = {
+        f"{g} groups": [(c.backups, c.recovery_time_per_fault_s) for c in row]
+        for g, row in sweep.items()
+    }
+    print(series_table("Figure 8: recovery time per fault", "backups", "s/fault", series))
+
+
+def cmd_fig9(_args, _scale) -> None:
+    costs = {p: relative_costs(p, 1) for p in ("aws", "gcp")}
+    labels = list(costs["aws"])
+    print(bar_table(
+        "Figure 9: cost vs Raft-R (%), F=1", labels,
+        {p: [costs[p][l] for l in labels] for p in costs}, unit="%",
+    ))
+
+
+def cmd_fig10(_args, _scale) -> None:
+    costs = {p: relative_costs(p, 2) for p in ("aws", "gcp")}
+    labels = list(costs["aws"])
+    print(bar_table(
+        "Figure 10: cost vs Raft-R (%), F=2", labels,
+        {p: [costs[p][l] for l in labels] for p in costs}, unit="%",
+    ))
+
+
+def cmd_throughput(args, scale) -> None:
+    spec = _spec(args.system, scale, cores=args.cores)
+    result = run_throughput(spec, WORKLOADS[args.workload], scale=scale)
+    print(kv_table(
+        f"{args.system} / {args.workload}",
+        [("throughput", f"{result.ops_per_sec:,.0f} ops/s"),
+         ("completed", str(result.completed)),
+         ("errors", str(result.errors))],
+    ))
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "fig5": cmd_fig5,
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "throughput": cmd_throughput,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.cli",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        help=f"one or more of: {', '.join(COMMANDS)} "
+             "(fig6/fig7/fig11/fig12 run via pytest benchmarks/)",
+    )
+    parser.add_argument("--system", default="sift",
+                        choices=["sift", "sift-ec", "raft-r", "epaxos"])
+    parser.add_argument("--workload", default="read-heavy", choices=list(WORKLOADS))
+    parser.add_argument("--cores", type=int, default=None)
+    args = parser.parse_args(argv)
+    scale = BenchScale()
+    for experiment in args.experiments:
+        command = COMMANDS.get(experiment)
+        if command is None:
+            parser.error(f"unknown experiment: {experiment}")
+        command(args, scale)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""Per-key linearizability checking for KV operation histories.
+
+Consensus repositories live or die by their consistency story, so the
+test suite records real client histories — invocation time, response
+time, operation, outcome — during fault injection and checks them with
+a Wing-Gong style linearizability search specialised to a per-key
+read/write register:
+
+* operations on different keys are independent (the store has no
+  multi-key operations), so the history factors per key;
+* an operation that never received a response may have taken effect at
+  any point after its invocation (or never); the checker treats such
+  ops as optional.
+
+The search walks the history's minimal-operation frontier with
+memoisation on (completed-set, register-value); per-key histories from
+the tests are small, so this stays fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+__all__ = ["Op", "History", "check_key_history", "check_history"]
+
+PUT = "put"
+GET = "get"
+DELETE = "delete"
+
+
+class Op(NamedTuple):
+    """One client operation as observed at the client."""
+
+    key: bytes
+    kind: str  # put | get | delete
+    value: Optional[bytes]  # put argument, or get result (None = missing)
+    invoked_at: float
+    responded_at: Optional[float]  # None: no response observed (may or may not have happened)
+
+
+class History:
+    """A collection of recorded operations."""
+
+    def __init__(self) -> None:
+        self.ops: List[Op] = []
+
+    def record(self, op: Op) -> None:
+        self.ops.append(op)
+
+    def per_key(self) -> Dict[bytes, List[Op]]:
+        out: Dict[bytes, List[Op]] = {}
+        for op in self.ops:
+            out.setdefault(op.key, []).append(op)
+        return out
+
+
+def check_history(history: History, initial: Optional[bytes] = None) -> Tuple[bool, Optional[bytes]]:
+    """Check every key's sub-history; returns (ok, offending_key)."""
+    for key, ops in history.per_key().items():
+        if not check_key_history(ops, initial=initial):
+            return False, key
+    return True, None
+
+
+def check_key_history(ops: List[Op], initial: Optional[bytes] = None) -> bool:
+    """Wing-Gong linearizability for one key's register history.
+
+    Returns True iff there is a total order of (a subset including all
+    *responded* of) the operations that respects real-time order and
+    register semantics, where never-responded operations may be
+    included or dropped.
+    """
+    completed = [op for op in ops if op.responded_at is not None]
+    pending = [op for op in ops if op.responded_at is None]
+    ordered = sorted(completed, key=lambda op: op.invoked_at)
+    all_ops = ordered + pending
+    n = len(all_ops)
+    if n > 64:
+        raise ValueError("history too large for the exhaustive checker")
+
+    full_mask = (1 << n) - 1
+    seen: Set[Tuple[int, Optional[bytes]]] = set()
+
+    def precedes(a: Op, b: Op) -> bool:
+        """a finished before b was invoked (strict real-time order)."""
+        return a.responded_at is not None and a.responded_at < b.invoked_at
+
+    def search(done_mask: int, value: Optional[bytes]) -> bool:
+        if done_mask & ((1 << len(ordered)) - 1) == (1 << len(ordered)) - 1:
+            return True  # every completed op linearised (pending are optional)
+        state = (done_mask, value)
+        if state in seen:
+            return False
+        seen.add(state)
+        for index, op in enumerate(all_ops):
+            bit = 1 << index
+            if done_mask & bit:
+                continue
+            # Minimality: every op that strictly precedes `op` in real
+            # time must already be linearised.
+            blocked = False
+            for j, other in enumerate(all_ops):
+                if j != index and not (done_mask & (1 << j)) and precedes(other, op):
+                    blocked = True
+                    break
+            if blocked:
+                continue
+            if op.kind == GET:
+                if op.responded_at is None:
+                    # A get with no observed response constrains nothing.
+                    if search(done_mask | bit, value):
+                        return True
+                    continue
+                if op.value != value:
+                    continue  # cannot linearise here
+                if search(done_mask | bit, value):
+                    return True
+            elif op.kind == PUT:
+                if search(done_mask | bit, op.value):
+                    return True
+            elif op.kind == DELETE:
+                if search(done_mask | bit, None):
+                    return True
+        return False
+
+    return search(0, initial)

@@ -1,0 +1,65 @@
+"""Paper-style rendering of experiment results.
+
+Figures become text: bar groups as aligned tables, lines as
+(x, y) series.  Every benchmark prints through these helpers so the
+regenerated "figure" is diffable against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["bar_table", "series_table", "kv_table", "sparkline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def bar_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Dict[str, Sequence[float]],
+    unit: str = "ops/s",
+) -> str:
+    """Grouped-bar figure as a table: one row per system, one column per group."""
+    width = max([len(name) for name in rows] + [8])
+    col_width = max([len(c) for c in columns] + [12])
+    lines = [title, "=" * len(title)]
+    header = " " * width + "  " + "  ".join(c.rjust(col_width) for c in columns)
+    lines.append(header)
+    for name, values in rows.items():
+        cells = "  ".join(f"{v:,.0f}".rjust(col_width) for v in values)
+        lines.append(f"{name.ljust(width)}  {cells}")
+    lines.append(f"(unit: {unit})")
+    return "\n".join(lines)
+
+
+def series_table(
+    title: str,
+    x_label: str,
+    y_label: str,
+    series: Dict[str, Iterable[Tuple[float, float]]],
+) -> str:
+    """Line figure as labelled (x, y) rows per series."""
+    lines = [title, "=" * len(title), f"{x_label} -> {y_label}"]
+    for name, points in series.items():
+        lines.append(f"[{name}]")
+        for x, y in points:
+            lines.append(f"  {x:>12,.4g}  {y:>14,.2f}")
+    return "\n".join(lines)
+
+
+def kv_table(title: str, rows: List[Tuple[str, str]]) -> str:
+    """Simple two-column table."""
+    width = max(len(k) for k, _v in rows)
+    lines = [title, "=" * len(title)]
+    for key, value in rows:
+        lines.append(f"{key.ljust(width)}  {value}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode sparkline (used for throughput timelines)."""
+    if not values:
+        return ""
+    top = max(values) or 1.0
+    return "".join(_BLOCKS[min(8, int(9 * v / top))] if v > 0 else _BLOCKS[0] for v in values)

@@ -1,0 +1,206 @@
+"""Experiment drivers.
+
+Three drivers cover every figure:
+
+* :func:`run_throughput` — peak throughput of one (system, workload)
+  point: build, preload, warm up, measure (Figs. 5 and 7).
+* :func:`run_latency` — latency distribution at a fixed client count
+  (Fig. 6: 1 client, and ~90% of peak via a calibrated client count).
+* :func:`run_timeline` — a long run with fault-injection callbacks and
+  100 ms throughput windows (Figs. 11 and 12).
+
+Each experiment runs in a brand-new simulator with seeded RNG streams;
+two invocations with identical parameters produce identical numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, NamedTuple, Optional, Tuple
+
+from repro.bench.calibration import DEFAULT_SCALE, BenchScale
+from repro.bench.metrics import Metrics
+from repro.bench.systems import SystemSpec
+from repro.net.fabric import Fabric
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.units import SEC
+from repro.workloads.clients import ClientPool
+from repro.workloads.generator import WorkloadMix, ZipfSampler, KeySampler
+
+__all__ = [
+    "ThroughputResult",
+    "LatencyResult",
+    "TimelineResult",
+    "run_throughput",
+    "run_latency",
+    "run_timeline",
+]
+
+
+class ThroughputResult(NamedTuple):
+    """One Figure 5 / Figure 7 data point."""
+
+    system: str
+    workload: str
+    ops_per_sec: float
+    completed: int
+    errors: int
+
+
+class LatencyResult(NamedTuple):
+    """One Figure 6 data point (microseconds)."""
+
+    system: str
+    clients: int
+    read_p50: Optional[float]
+    read_p95: Optional[float]
+    write_p50: Optional[float]
+    write_p95: Optional[float]
+    ops_per_sec: float
+
+
+class TimelineResult(NamedTuple):
+    """A Figure 11 / 12 series."""
+
+    system: str
+    series: List[Tuple[float, float]]  # (seconds, ops/sec) per 100ms window
+    events: List[Tuple[float, str]]  # (seconds, label) of injected faults
+    base_us: float = 0.0  # absolute sim time of t=0 (for rebasing marks)
+
+
+def _setup(spec: SystemSpec, scale: BenchScale, seed: int):
+    sim = Simulator()
+    fabric = Fabric(sim, rng=RngStreams(seed=seed))
+    cluster = spec.build(fabric)
+    return sim, fabric, cluster
+
+
+def _items(scale: BenchScale):
+    value = b"v" * scale.value_bytes
+    sampler = KeySampler(scale.keys)
+    return ((sampler.key(i), value) for i in range(scale.keys))
+
+
+def _drive(
+    spec: SystemSpec,
+    mix: WorkloadMix,
+    n_clients: int,
+    scale: BenchScale,
+    seed: int,
+    sampler: Optional[KeySampler] = None,
+):
+    """Common build -> preload -> warmup -> measure flow; returns metrics."""
+    sim, fabric, cluster = _setup(spec, scale, seed)
+    metrics = Metrics()
+    sampler = sampler or ZipfSampler(scale.keys, scale.zipf_theta)
+    pool = ClientPool(
+        fabric, cluster, n_clients, mix, sampler, metrics,
+        value_bytes=scale.value_bytes,
+    )
+
+    ready = sim.spawn(spec.wait_ready(cluster), name="wait-ready")
+    ready.add_callback(lambda _ev: None)  # we inspect the outcome below
+    sim.run_until_settled(ready, deadline=5 * SEC)
+    if not ready.ok:
+        raise RuntimeError(f"{spec.name} never became ready: {ready.exception}")
+    spec.preload(cluster, _items(scale))
+    pool.start()
+    sim.run(until=sim.now + scale.warmup_us)
+    metrics.begin(sim.now)
+    sim.run(until=sim.now + scale.measure_us)
+    metrics.end(sim.now)
+    pool.stop()
+    return metrics
+
+
+def run_throughput(
+    spec: SystemSpec,
+    mix: WorkloadMix,
+    n_clients: Optional[int] = None,
+    scale: BenchScale = DEFAULT_SCALE,
+    seed: int = 1,
+) -> ThroughputResult:
+    """Peak (or fixed-client) throughput for one system and workload."""
+    clients = n_clients if n_clients is not None else scale.clients
+    metrics = _drive(spec, mix, clients, scale, seed)
+    return ThroughputResult(
+        system=spec.name,
+        workload=mix.name,
+        ops_per_sec=metrics.throughput(),
+        completed=metrics.completed,
+        errors=metrics.errors,
+    )
+
+
+def run_latency(
+    spec: SystemSpec,
+    mix: WorkloadMix,
+    n_clients: int,
+    scale: BenchScale = DEFAULT_SCALE,
+    seed: int = 1,
+) -> LatencyResult:
+    """Latency percentiles at a fixed load level."""
+    metrics = _drive(spec, mix, n_clients, scale, seed)
+
+    def maybe(op: str, p: float) -> Optional[float]:
+        if metrics.latencies.get(op):
+            return metrics.latency(op, p)
+        return None
+
+    return LatencyResult(
+        system=spec.name,
+        clients=n_clients,
+        read_p50=maybe("read", 50),
+        read_p95=maybe("read", 95),
+        write_p50=maybe("write", 50),
+        write_p95=maybe("write", 95),
+        ops_per_sec=metrics.throughput(),
+    )
+
+
+def run_timeline(
+    spec: SystemSpec,
+    mix: WorkloadMix,
+    n_clients: int,
+    duration_us: float,
+    events: List[Tuple[float, str, Callable]],
+    scale: BenchScale = DEFAULT_SCALE,
+    seed: int = 1,
+) -> TimelineResult:
+    """Throughput timeline with fault injection (Figs. 11-12).
+
+    *events* is a list of ``(at_us, label, fn)``; ``fn(cluster)`` runs at
+    simulated time *at_us* measured from the start of the measurement.
+    """
+    sim, fabric, cluster = _setup(spec, scale, seed)
+    metrics = Metrics()
+    sampler = ZipfSampler(scale.keys, scale.zipf_theta)
+    pool = ClientPool(
+        fabric, cluster, n_clients, mix, sampler, metrics,
+        value_bytes=scale.value_bytes,
+    )
+
+    ready = sim.spawn(spec.wait_ready(cluster), name="wait-ready")
+    ready.add_callback(lambda _ev: None)  # we inspect the outcome below
+    sim.run_until_settled(ready, deadline=5 * SEC)
+    if not ready.ok:
+        raise RuntimeError(f"{spec.name} never became ready: {ready.exception}")
+    spec.preload(cluster, _items(scale))
+    pool.start()
+    sim.run(until=sim.now + scale.warmup_us)
+
+    base = sim.now
+    metrics.begin(base)
+    injected: List[Tuple[float, str]] = []
+    for at_us, label, fn in sorted(events):
+        sim.run(until=base + at_us)
+        fn(cluster)
+        injected.append(((sim.now - base) / 1e6, label))
+    sim.run(until=base + duration_us)
+    metrics.end(sim.now)
+    pool.stop()
+    series = metrics.timeline(base, sim.now)
+    rebased = [(t - base / 1e6, ops) for t, ops in series]
+    return TimelineResult(
+        system=spec.name, series=rebased, events=injected, base_us=base
+    )

@@ -1,0 +1,146 @@
+"""System-under-test factories.
+
+Each spec builds a fresh cluster on a fresh fabric with a uniform
+interface, so the experiment drivers in :mod:`repro.bench.runner` can
+treat Sift, Sift EC, Raft-R and EPaxos identically:
+
+* ``build(fabric)`` — construct and start the cluster;
+* ``wait_ready(cluster)`` — process that returns when requests are served;
+* ``preload(cluster, items)`` — synchronous §6.2 pre-population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.baselines.epaxos import EPaxosCluster, EPaxosConfig
+from repro.baselines.raft import RaftCluster, RaftConfig
+from repro.bench.calibration import DEFAULT_SCALE, BenchScale
+from repro.core.group import SiftGroup
+from repro.kv.config import KvConfig
+from repro.kv.store import kv_app_factory
+from repro.net.fabric import Fabric
+from repro.sim.units import SEC
+
+__all__ = ["SystemSpec", "sift_spec", "raft_spec", "epaxos_spec"]
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A buildable system-under-test."""
+
+    name: str
+    build: Callable[[Fabric], object]
+    wait_ready: Callable[[object], object]  # (cluster) -> process generator
+    preload: Callable[[object, Iterable[Tuple[bytes, bytes]]], None]
+
+
+# ---------------------------------------------------------------------------
+# Sift / Sift EC
+# ---------------------------------------------------------------------------
+
+
+def sift_spec(
+    f: int = 1,
+    erasure_coding: bool = False,
+    cores: Optional[int] = None,
+    scale: BenchScale = DEFAULT_SCALE,
+    kv_overrides: Optional[dict] = None,
+) -> SystemSpec:
+    """A Sift group serving the paper's KV store.
+
+    *kv_overrides* tweaks :class:`KvConfig` fields (cache fraction,
+    apply workers, ...) for ablation experiments.
+    """
+    kv_kwargs = dict(
+        max_keys=scale.keys + 1024,
+        wal_entries=scale.kv_wal_entries,
+    )
+    kv_kwargs.update(kv_overrides or {})
+    kv_config = KvConfig(**kv_kwargs)
+    if cores is None:
+        cores = 12 if erasure_coding else 10  # Table 2 defaults
+    name = f"sift{'-ec' if erasure_coding else ''}"
+
+    def build(fabric: Fabric) -> SiftGroup:
+        sift_config = kv_config.sift_config(
+            fm=f,
+            fc=f,
+            erasure_coding=erasure_coding,
+            wal_entries=scale.wal_entries,
+            cpu_node_cores=cores,
+        )
+        group = SiftGroup(
+            fabric, sift_config, name=name, app_factory=kv_app_factory(kv_config)
+        )
+        group.start()
+        return group
+
+    def wait_ready(group: SiftGroup):
+        coordinator = yield from group.wait_until_serving(timeout_us=5 * SEC)
+        return coordinator
+
+    def preload(group: SiftGroup, items) -> None:
+        coordinator = group.serving_coordinator()
+        if coordinator is None:
+            raise RuntimeError("preload requires a serving coordinator")
+        coordinator.app.preload(items)
+
+    return SystemSpec(name=name, build=build, wait_ready=wait_ready, preload=preload)
+
+
+# ---------------------------------------------------------------------------
+# Raft-R
+# ---------------------------------------------------------------------------
+
+
+def raft_spec(
+    f: int = 1,
+    cores: int = 8,
+    scale: BenchScale = DEFAULT_SCALE,
+) -> SystemSpec:
+    """The Raft-R comparison system (§6.3.1)."""
+
+    def build(fabric: Fabric) -> RaftCluster:
+        config = RaftConfig(f=f, cores=cores)
+        cluster = RaftCluster(fabric, config, name="raft")
+        cluster.start()
+        return cluster
+
+    def wait_ready(cluster: RaftCluster):
+        leader = yield from cluster.wait_until_serving(timeout_us=5 * SEC)
+        return leader
+
+    def preload(cluster: RaftCluster, items) -> None:
+        cluster.preload(items)
+
+    return SystemSpec(name="raft-r", build=build, wait_ready=wait_ready, preload=preload)
+
+
+# ---------------------------------------------------------------------------
+# EPaxos
+# ---------------------------------------------------------------------------
+
+
+def epaxos_spec(
+    f: int = 1,
+    cores: int = 8,
+    scale: BenchScale = DEFAULT_SCALE,
+) -> SystemSpec:
+    """The EPaxos comparison system (§6.3.1)."""
+
+    def build(fabric: Fabric) -> EPaxosCluster:
+        config = EPaxosConfig(f=f, cores=cores)
+        cluster = EPaxosCluster(fabric, config, name="epaxos")
+        cluster.start()
+        return cluster
+
+    def wait_ready(cluster: EPaxosCluster):
+        replica = yield from cluster.wait_until_serving()
+        return replica
+
+    def preload(cluster: EPaxosCluster, items) -> None:
+        cluster.preload(items)
+
+    return SystemSpec(name="epaxos", build=build, wait_ready=wait_ready, preload=preload)

@@ -1,0 +1,34 @@
+"""Cloud deployment modelling (§5.2, §6.4).
+
+* :mod:`~repro.cluster.pricing` — the AWS/GCP marginal prices the paper
+  derives from October 2019 price sheets.
+* :mod:`~repro.cluster.provision` — Table 2's normalized machine
+  configurations per system and fault level.
+* :mod:`~repro.cluster.costs` — per-group deployment cost and the
+  relative-cost analysis behind Figures 9 and 10.
+* :mod:`~repro.cluster.trace` — a synthetic Google-cluster-style machine
+  failure trace (29 days, ~12,500 machines, correlated bursts).
+* :mod:`~repro.cluster.backups` — the trace-driven shared-backup-pool
+  simulation behind Figure 8.
+"""
+
+from repro.cluster.backups import BackupSimResult, simulate_backup_pool
+from repro.cluster.costs import group_cost_per_hour, relative_costs
+from repro.cluster.pricing import PRICING, MachineSpec, machine_cost_per_hour
+from repro.cluster.provision import TABLE2, machine_table
+from repro.cluster.trace import FailureEvent, TraceConfig, generate_trace
+
+__all__ = [
+    "BackupSimResult",
+    "FailureEvent",
+    "MachineSpec",
+    "PRICING",
+    "TABLE2",
+    "TraceConfig",
+    "generate_trace",
+    "group_cost_per_hour",
+    "machine_cost_per_hour",
+    "machine_table",
+    "relative_costs",
+    "simulate_backup_pool",
+]

@@ -1,0 +1,149 @@
+"""Trace-driven shared-backup-pool simulation (Figure 8, §6.4.2).
+
+Replays a machine-failure trace against G Sift groups, "randomly
+assigning machines to Sift groups and observing the additional recovery
+time incurred by a lack of backup nodes.  When a node experienced a
+failure, it was assumed that it would take 100 seconds to provision a
+replacement — the average time to start up a Linux VM in EC2 [18]."
+
+Model:
+
+* each group occupies 4 distinct machines (F=1: 3 memory + 1 CPU);
+* the pool holds B ready backup CPU VMs; when a group's *coordinator*
+  machine fails, the group grabs a ready backup (zero additional
+  recovery time) and the pool immediately starts provisioning a
+  replacement VM (ready 100 s later); if the pool is empty the group
+  waits for the next VM to arrive, and that wait is the *additional
+  recovery time* charged to the fault;
+* memory-node failures provision replacement VMs too, but the group
+  keeps serving meanwhile (§3.4.2), so they add no recovery time;
+* the metric is total additional recovery time divided by the number of
+  failure events in the trace ("recovery time per fault"), averaged
+  over repetitions with different random group placements.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, List, NamedTuple
+
+from repro.cluster.trace import FailureEvent, TraceConfig, generate_trace
+
+__all__ = ["BackupSimResult", "simulate_backup_pool", "sweep_backup_pool"]
+
+PROVISION_S = 100.0  # [18]: average Linux VM start-up time on EC2
+NODES_PER_GROUP = 4  # F=1: 3 memory nodes + 1 CPU node (§6.4.2)
+
+
+class BackupSimResult(NamedTuple):
+    """One (groups, backups) cell."""
+
+    groups: int
+    backups: int
+    recovery_time_per_fault_s: float
+    coordinator_faults: int
+    total_faults: int
+    waits: int  # faults that found the pool empty
+
+
+def simulate_backup_pool(
+    events: List[FailureEvent],
+    machines: int,
+    groups: int,
+    backups: int,
+    rng: random.Random,
+) -> BackupSimResult:
+    """Replay *events* once with a fresh random placement."""
+    if groups * NODES_PER_GROUP > machines:
+        raise ValueError(
+            f"{groups} groups x {NODES_PER_GROUP} nodes exceed {machines} machines"
+        )
+    placement = rng.sample(range(machines), groups * NODES_PER_GROUP)
+    coordinator_of: Dict[int, int] = {}  # machine -> group
+    used = set(placement)
+    for group in range(groups):
+        coordinator_of[placement[group * NODES_PER_GROUP]] = group
+
+    # Min-heap of times at which pool VMs become ready.
+    pool: List[float] = [0.0] * backups
+    heapq.heapify(pool)
+
+    total_extra = 0.0
+    coordinator_faults = 0
+    waits = 0
+    free_machines = [m for m in range(machines) if m not in used]
+    rng.shuffle(free_machines)
+
+    for event in events:
+        group = coordinator_of.pop(event.machine, None)
+        if group is None:
+            continue
+        coordinator_faults += 1
+        if pool:
+            ready = heapq.heappop(pool)
+            extra = max(0.0, ready - event.time_s)
+            # The consumed backup's replacement starts provisioning now.
+            heapq.heappush(pool, max(ready, event.time_s) + PROVISION_S)
+        else:
+            # No pool at all: the group provisions its own VM.
+            extra = PROVISION_S
+        if extra > 0:
+            waits += 1
+        total_extra += extra
+        # The group's new coordinator runs on a fresh machine.
+        if free_machines:
+            replacement = free_machines.pop()
+            coordinator_of[replacement] = group
+
+    per_fault = total_extra / len(events) if events else 0.0
+    return BackupSimResult(
+        groups=groups,
+        backups=backups,
+        recovery_time_per_fault_s=per_fault,
+        coordinator_faults=coordinator_faults,
+        total_faults=len(events),
+        waits=waits,
+    )
+
+
+def sweep_backup_pool(
+    group_counts: List[int],
+    backup_counts: List[int],
+    repetitions: int = 50,
+    config: TraceConfig = TraceConfig(),
+    seed: int = 0,
+) -> Dict[int, List[BackupSimResult]]:
+    """Figure 8's sweep: mean recovery time per fault for each cell.
+
+    The paper runs 50 repetitions per combination; each repetition uses
+    a fresh random placement over the same trace.
+    """
+    events = generate_trace(config, seed=seed)
+    out: Dict[int, List[BackupSimResult]] = {}
+    for groups in group_counts:
+        row: List[BackupSimResult] = []
+        for backups in backup_counts:
+            total = 0.0
+            coordinator_faults = 0
+            wait_count = 0
+            for repetition in range(repetitions):
+                rng = random.Random((seed, groups, backups, repetition).__hash__())
+                result = simulate_backup_pool(
+                    events, config.machines, groups, backups, rng
+                )
+                total += result.recovery_time_per_fault_s
+                coordinator_faults += result.coordinator_faults
+                wait_count += result.waits
+            row.append(
+                BackupSimResult(
+                    groups=groups,
+                    backups=backups,
+                    recovery_time_per_fault_s=total / repetitions,
+                    coordinator_faults=coordinator_faults // repetitions,
+                    total_faults=len(events),
+                    waits=wait_count // repetitions,
+                )
+            )
+        out[groups] = row
+    return out

@@ -1,0 +1,64 @@
+"""Deployment cost analysis (Figures 9 and 10, §6.4.3).
+
+Per-group hourly cost of each configuration, and the relative cost
+versus Raft-R at equal (normalized) performance and fault tolerance.
+The paper's headline numbers — "a cost reduction of up to 35%" at F=1
+and "56%" at F=2 for Sift EC with shared backups — fall out of this
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cluster.pricing import machine_cost_per_hour
+from repro.cluster.provision import deployment_machines
+
+__all__ = ["group_cost_per_hour", "relative_costs", "CONFIGURATIONS"]
+
+CONFIGURATIONS = [
+    ("sift", False),
+    ("sift", True),
+    ("sift-ec", False),
+    ("sift-ec", True),
+]
+"""(system, shared_backups) bars of Figures 9/10, in the paper's order."""
+
+
+def group_cost_per_hour(
+    provider: str,
+    system: str,
+    f: int,
+    shared_backups: bool = False,
+    groups: int = 100,
+    backup_pool: int = 2,
+) -> float:
+    """Hourly cost of one consensus group."""
+    machines = deployment_machines(
+        system, f, shared_backups=shared_backups, groups=groups, backup_pool=backup_pool
+    )
+    return sum(
+        machine_cost_per_hour(provider, spec) * count for spec, count in machines
+    )
+
+
+def relative_costs(
+    provider: str,
+    f: int,
+    groups: int = 100,
+    backup_pool: int = 2,
+) -> Dict[str, float]:
+    """Percent cost relative to Raft-R (negative = cheaper), per Fig 9/10.
+
+    The paper "assumed 100 Sift groups with a backup pool consisting of
+    2 CPU nodes", the pool size read off the Figure 8 simulation.
+    """
+    baseline = group_cost_per_hour(provider, "raft", f)
+    out: Dict[str, float] = {}
+    for system, shared in CONFIGURATIONS:
+        label = system + (" + shared backups" if shared else "")
+        cost = group_cost_per_hour(
+            provider, system, f, shared_backups=shared, groups=groups, backup_pool=backup_pool
+        )
+        out[label] = (cost / baseline - 1.0) * 100.0
+    return out

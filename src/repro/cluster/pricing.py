@@ -1,0 +1,45 @@
+"""Cloud pricing model (§6.4.3).
+
+The paper derives marginal per-core and per-GB prices by comparing
+compute- and memory-optimised instances (AWS) and from custom machine
+types (GCP):
+
+    "These pricing models give us a price of $0.033/core/hr and
+    $0.00275/GB/hr for memory for AWS, and $0.033/core/hr and
+    $0.00445/GB/hr for memory for GCP."
+
+Costs in §6.4 are pure arithmetic over these constants, so this module
+reproduces the paper's numbers exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+__all__ = ["MachineSpec", "Price", "PRICING", "machine_cost_per_hour"]
+
+
+class MachineSpec(NamedTuple):
+    """A custom-provisioned cloud machine."""
+
+    cores: int
+    memory_gb: float
+
+
+class Price(NamedTuple):
+    """Marginal prices per hour."""
+
+    per_core: float
+    per_gb: float
+
+
+PRICING: Dict[str, Price] = {
+    "aws": Price(per_core=0.033, per_gb=0.00275),
+    "gcp": Price(per_core=0.033, per_gb=0.00445),
+}
+
+
+def machine_cost_per_hour(provider: str, spec: MachineSpec) -> float:
+    """Hourly cost of one custom machine."""
+    price = PRICING[provider]
+    return spec.cores * price.per_core + spec.memory_gb * price.per_gb

@@ -1,0 +1,64 @@
+"""Table 2: machine configurations normalized for performance (§6.4.1).
+
+The paper provisions each system so a read-heavy workload reaches the
+same target throughput (380k ops/s at F=1, 350k at F=2), reading the
+core counts off Figure 7.  The memory sizes come from the state-machine
+footprint: Raft nodes hold a full replica (64 GB); Sift CPU nodes hold
+only soft state — the cache, index table, and bitmap (32 GB); Sift
+memory nodes hold the full state (64 GB), shrunk by a factor of F+1
+under erasure coding (32 GB at F=1, 22 GB at F=2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cluster.pricing import MachineSpec
+
+__all__ = ["TABLE2", "TARGET_THROUGHPUT", "machine_table", "deployment_machines"]
+
+TARGET_THROUGHPUT = {1: 380_000, 2: 350_000}
+"""§6.4.3: read-heavy targets used to normalize provisioning."""
+
+# (system, F) -> {role: MachineSpec}
+TABLE2: Dict[Tuple[str, int], Dict[str, MachineSpec]] = {
+    ("raft", 1): {"node": MachineSpec(8, 64)},
+    ("raft", 2): {"node": MachineSpec(8, 64)},
+    ("sift", 1): {"cpu": MachineSpec(10, 32), "memory": MachineSpec(1, 64)},
+    ("sift", 2): {"cpu": MachineSpec(10, 32), "memory": MachineSpec(1, 64)},
+    ("sift-ec", 1): {"cpu": MachineSpec(12, 32), "memory": MachineSpec(1, 32)},
+    ("sift-ec", 2): {"cpu": MachineSpec(12, 32), "memory": MachineSpec(1, 22)},
+}
+
+
+def deployment_machines(
+    system: str,
+    f: int,
+    shared_backups: bool = False,
+    groups: int = 100,
+    backup_pool: int = 2,
+) -> List[Tuple[MachineSpec, float]]:
+    """Machines (spec, count-per-group) for one consensus group.
+
+    With shared backups a group provisions a single coordinator CPU node
+    plus its amortised share of the pool (§5.2); otherwise F+1 CPU nodes
+    (Sift) or 2F+1 full nodes (Raft).
+    """
+    specs = TABLE2[(system, f)]
+    if system == "raft":
+        return [(specs["node"], 2 * f + 1)]
+    cpu_count: float = f + 1
+    if shared_backups:
+        cpu_count = 1 + backup_pool / groups
+    return [(specs["cpu"], cpu_count), (specs["memory"], 2 * f + 1)]
+
+
+def machine_table(f: int) -> List[Tuple[str, MachineSpec]]:
+    """Rows of Table 2 for one fault level."""
+    return [
+        ("Raft-R Node", TABLE2[("raft", f)]["node"]),
+        ("Sift CPU Node", TABLE2[("sift", f)]["cpu"]),
+        ("Sift Memory Node", TABLE2[("sift", f)]["memory"]),
+        ("Sift EC CPU Node", TABLE2[("sift-ec", f)]["cpu"]),
+        ("Sift EC Memory Node", TABLE2[("sift-ec", f)]["memory"]),
+    ]

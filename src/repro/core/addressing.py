@@ -1,0 +1,111 @@
+"""Logical-address translation.
+
+Applications address replicated memory with logical byte offsets
+(§3.1: "a contiguous block of memory that clients interact with through
+logical addresses").  How a logical range lands on each memory node
+depends on the mode:
+
+* **Plain replication** — identity: logical offset *a* lives at region
+  offset ``data_offset + a`` on every node.
+* **Erasure coding** (§5.1) — the address space has two zones:
+
+  - the *direct window* ``[0, direct_bytes)`` is stored raw on every node
+    (it backs self-managing logs like the KV WAL, which the paper keeps
+    non-encoded);
+  - the *encoded zone* ``[direct_bytes, data_bytes)`` is split into
+    blocks of ``block_bytes``; block *b* is encoded into ``Fm+1`` data
+    chunks + ``Fm`` parity chunks of ``chunk_bytes`` each, and node *i*
+    stores shard *i* at region offset
+    ``data_offset + direct_bytes + b * chunk_bytes``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.config import SiftConfig
+from repro.core.errors import InvalidAccess
+
+__all__ = ["AddressMap"]
+
+
+class AddressMap:
+    """Pure translation logic, shared by the data path and recovery."""
+
+    def __init__(self, config: SiftConfig, data_offset: int):
+        self.config = config
+        self.data_offset = data_offset
+
+    # -- validation ----------------------------------------------------------
+
+    def check_range(self, addr: int, length: int) -> None:
+        """Reject ranges outside the logical address space."""
+        if addr < 0 or length < 0 or addr + length > self.config.data_bytes:
+            raise InvalidAccess(
+                f"range [{addr}, {addr + length}) outside replicated memory "
+                f"of {self.config.data_bytes} bytes"
+            )
+
+    def in_direct_window(self, addr: int, length: int) -> bool:
+        """Whether the whole range lies in the direct (unencoded) window."""
+        return addr + length <= self.config.direct_bytes
+
+    def is_encoded(self, addr: int, length: int) -> bool:
+        """Whether the range needs chunk translation (EC encoded zone)."""
+        if not self.config.erasure_coding:
+            return False
+        if self.in_direct_window(addr, length):
+            return False
+        if addr < self.config.direct_bytes:
+            raise InvalidAccess(
+                f"range [{addr}, {addr + length}) straddles the direct/encoded "
+                "zone boundary"
+            )
+        return True
+
+    # -- blocks ---------------------------------------------------------------
+
+    def block_index(self, addr: int) -> int:
+        """Lock-table block index for a logical address."""
+        return addr // self.config.block_bytes
+
+    def blocks_of(self, addr: int, length: int) -> List[int]:
+        """All lock blocks touched by a range (length 0 still touches one)."""
+        self.check_range(addr, length)
+        first = self.block_index(addr)
+        last = self.block_index(addr + length - 1) if length else first
+        return list(range(first, last + 1))
+
+    def block_bounds(self, block: int) -> Tuple[int, int]:
+        """Logical [start, end) of a lock/EC block."""
+        start = block * self.config.block_bytes
+        return start, min(start + self.config.block_bytes, self.config.data_bytes)
+
+    # -- node placement ---------------------------------------------------------
+
+    def raw_extent(self, addr: int) -> int:
+        """Region offset on every node for a raw (unencoded) logical address."""
+        return self.data_offset + addr
+
+    def chunk_extent(self, block: int) -> int:
+        """Region offset on every node of a block's shard in the encoded zone."""
+        config = self.config
+        encoded_block = block - config.direct_bytes // config.block_bytes
+        if encoded_block < 0:
+            raise InvalidAccess(f"block {block} is in the direct window")
+        return self.data_offset + config.direct_bytes + encoded_block * config.chunk_bytes
+
+    def split_by_block(self, addr: int, data: bytes) -> List[Tuple[int, bytes]]:
+        """Split a write into per-block pieces (one WAL entry per piece)."""
+        self.check_range(addr, len(data))
+        pieces: List[Tuple[int, bytes]] = []
+        offset = 0
+        while offset < len(data):
+            position = addr + offset
+            block_end = (self.block_index(position) + 1) * self.config.block_bytes
+            take = min(len(data) - offset, block_end - position)
+            pieces.append((position, data[offset : offset + take]))
+            offset += take
+        if not pieces:
+            pieces.append((addr, b""))
+        return pieces

@@ -1,0 +1,195 @@
+"""Shared backup CPU nodes across groups (§5.2).
+
+Because CPU nodes hold only soft state, a spare CPU node is not tied to
+any particular Sift group: a pool of ``B`` backups can watch ``G`` groups
+and promote itself into whichever group loses its coordinator, replacing
+``(F + 1) x G`` provisioned CPU nodes with ``G + B``.
+
+The pool here is the *live* implementation used by tests and examples.
+A watchdog host runs one monitor per group; each monitor performs the
+same one-sided heartbeat *reads* of the group's admin words a follower
+would ("the communication overhead of a backup CPU node being
+responsible for multiple groups is negligible since heartbeats are
+reads that rarely occur more frequently than every few milliseconds").
+When a group's words stop changing on a quorum of its memory nodes, an
+idle backup converts itself into a full CpuNode for that group and
+campaigns.  The pool then provisions a replacement VM after
+``provisioning_delay_us`` (100 s in the paper, the average EC2 Linux VM
+start-up [18]).  The trace-driven *capacity analysis* behind Figure 8
+lives separately in :mod:`repro.cluster.backups`.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, List, Optional
+
+from repro.core.cpu_node import CpuNode
+from repro.core.group import SiftGroup
+from repro.net.fabric import Fabric
+from repro.net.host import Host
+from repro.rdma.errors import RdmaError
+from repro.rdma.nic import Rnic
+from repro.rdma.qp import QpState, QueuePair
+from repro.sim.units import SEC
+from repro.storage.admin import AdminWord
+from repro.storage.memory_node import ADMIN_REGION, ADMIN_WORD_OFFSET
+
+__all__ = ["BackupPool"]
+
+_BACKUP_NODE_IDS = count(100)  # distinct from the groups' own 1..Fc+1 ids
+
+
+class _GroupWatcher:
+    """Follower-style heartbeat reader for one group, on the watchdog."""
+
+    def __init__(self, host: Host, nic: Rnic, group: SiftGroup):
+        self.host = host
+        self.nic = nic
+        self.group = group
+        self._qps: Dict[int, QueuePair] = {}
+        self._last_words: Dict[int, AdminWord] = {}
+
+    def _ensure_qps(self):
+        for index, node in enumerate(self.group.memory_nodes):
+            qp = self._qps.get(index)
+            if qp is not None and qp.state is QpState.CONNECTED:
+                continue
+            if not node.alive:
+                continue
+            fresh = QueuePair(self.nic, node.listener, name=f"watch-{self.group.name}-{index}")
+            try:
+                yield self.host.spawn(fresh.connect([ADMIN_REGION]))
+            except Exception:
+                continue
+            self._qps[index] = fresh
+
+    def poll(self):
+        """Process: one heartbeat-read round; returns #nodes with progress."""
+        yield from self._ensure_qps()
+        events = {
+            index: qp.read_word(ADMIN_REGION, ADMIN_WORD_OFFSET)
+            for index, qp in self._qps.items()
+        }
+        changed = 0
+        for index, event in events.items():
+            try:
+                raw = yield event
+            except RdmaError:
+                qp = self._qps.pop(index, None)
+                if qp is not None:
+                    qp.close()
+                continue
+            word = AdminWord.unpack(raw)
+            if self._last_words.get(index) != word:
+                changed += 1
+            self._last_words[index] = word
+        return changed
+
+
+class BackupPool:
+    """A pool of spare CPU nodes monitoring many groups."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        groups: List[SiftGroup],
+        size: int,
+        provisioning_delay_us: float = 100 * SEC,
+        cores: int = 10,
+        name: str = "backup",
+    ):
+        self.fabric = fabric
+        self.groups = list(groups)
+        self.provisioning_delay_us = provisioning_delay_us
+        self.cores = cores
+        self.name = name
+        self.sim = fabric.sim
+        self._spares: List[str] = []
+        self._next_host = count()
+        self.promotions = 0
+        self.provisioned = 0
+        self.running = False
+        self._watchdog: Optional[Host] = None
+        for _ in range(size):
+            self._spares.append(self._new_spare())
+
+    def _new_spare(self) -> str:
+        host_name = f"{self.name}-{next(self._next_host)}"
+        self.fabric.add_host(host_name, cores=self.cores)
+        return host_name
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin monitoring every group from a watchdog host."""
+        self.running = True
+        self._watchdog = self.fabric.add_host(f"{self.name}-watchdog", cores=2)
+        nic = Rnic(self._watchdog, self.fabric)
+        for group in self.groups:
+            watcher = _GroupWatcher(self._watchdog, nic, group)
+            self._watchdog.spawn(self._monitor(group, watcher), name=f"monitor-{group.name}")
+
+    def stop(self) -> None:
+        """Stop promoting (running monitors drain on their next check)."""
+        self.running = False
+
+    @property
+    def idle_backups(self) -> int:
+        """Spare hosts ready to take over a group right now."""
+        return len(self._spares)
+
+    # ------------------------------------------------------------------
+    # Monitoring and promotion
+    # ------------------------------------------------------------------
+
+    def _monitor(self, group: SiftGroup, watcher: _GroupWatcher):
+        config = group.config
+        interval = config.heartbeat_read_interval_us
+        stale_rounds = 0
+        while self.running:
+            yield self.sim.timeout(interval)
+            changed = yield from watcher.poll()
+            if changed >= config.quorum:
+                stale_rounds = 0
+                continue
+            stale_rounds += 1
+            if stale_rounds <= config.missed_heartbeats_allowed:
+                continue
+            if any(cpu.host.alive for cpu in group.cpu_nodes):
+                # The group still has its own CPU node(s); its election
+                # machinery will act (the stale reads mean it is mid-
+                # election or briefly stalled, not abandoned).
+                stale_rounds = 0
+                continue
+            yield from self._promote(group)
+            stale_rounds = 0
+
+    def _promote(self, group: SiftGroup):
+        """Process: hand an idle spare to *group* (waiting for one if needed)."""
+        while self.running and not self._spares:
+            yield self.sim.timeout(group.config.heartbeat_read_interval_us)
+        if not self.running:
+            return
+        host_name = self._spares.pop()
+        backup = CpuNode(
+            self.fabric,
+            f"{host_name}:{group.name}",
+            node_id=next(_BACKUP_NODE_IDS),
+            config=group.config,
+            memory_nodes=group.memory_nodes,
+            app_factory=group.app_factory,
+            host=self.fabric.host(host_name),
+        )
+        backup.start()
+        group.cpu_nodes.append(backup)
+        self.promotions += 1
+        # Replenish the pool in the background.
+        self.sim.spawn(self._provision(), name="provision-backup")
+
+    def _provision(self):
+        yield self.sim.timeout(self.provisioning_delay_us)
+        self.provisioned += 1
+        self._spares.append(self._new_spare())

@@ -1,0 +1,29 @@
+"""Protocol-level errors surfaced to Sift applications."""
+
+__all__ = [
+    "SiftError",
+    "GroupUnavailable",
+    "NotCoordinator",
+    "Deposed",
+    "InvalidAccess",
+]
+
+
+class SiftError(Exception):
+    """Base class for Sift protocol errors."""
+
+
+class GroupUnavailable(SiftError):
+    """Fewer than Fm + 1 live memory nodes: progress is impossible (§3.4)."""
+
+
+class NotCoordinator(SiftError):
+    """The operation requires coordinatorship this CPU node does not hold."""
+
+
+class Deposed(SiftError):
+    """A newer coordinator took over mid-operation; retry against it."""
+
+
+class InvalidAccess(SiftError):
+    """An address range outside the replicated memory, or a misuse of zones."""

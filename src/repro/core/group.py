@@ -1,0 +1,146 @@
+"""Group deployment wiring and fault injection.
+
+A :class:`SiftGroup` builds the full topology of one consensus group —
+``2Fm + 1`` memory nodes and ``Fc + 1`` CPU nodes on a shared fabric —
+starts the election machinery, and exposes the handles experiments need:
+who currently coordinates, crash/restart of either node type, and a
+"wait until the group serves requests" helper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.config import SiftConfig
+from repro.core.cpu_node import CpuNode
+from repro.core.errors import GroupUnavailable
+from repro.net.fabric import Fabric
+from repro.sim.units import MS
+from repro.storage.memory_node import MemoryNode
+
+__all__ = ["SiftGroup"]
+
+
+class SiftGroup:
+    """One Sift consensus group: nodes, wiring, and fault injection.
+
+    *persistent_nodes* selects memory nodes provisioned with persistent
+    memory (§3.5): their regions survive a crash+restart, enabling the
+    paper's mixed deployments — "a majority of memory nodes being
+    provisioned with volatile memory, while the remainder are given
+    persistent memory ... a lower-cost deployment with tunable amounts
+    of data loss" (or, majority-persistent, a group that survives a full
+    power cycle).
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        config: SiftConfig,
+        name: str = "sift",
+        app_factory: Optional[Callable] = None,
+        persistent_nodes: Optional[Iterable[int]] = None,
+    ):
+        config.validate()
+        self.fabric = fabric
+        self.config = config
+        self.name = name
+        self.app_factory = app_factory
+        self.persistent_nodes = frozenset(persistent_nodes or ())
+        node_config = config.memory_node_config()
+        self.memory_nodes: List[MemoryNode] = [
+            MemoryNode(
+                fabric,
+                f"{name}-mem{i}",
+                i,
+                config=(
+                    replace(node_config, persistent=True)
+                    if i in self.persistent_nodes
+                    else node_config
+                ),
+                cores=config.memory_node_cores,
+            )
+            for i in range(config.memory_node_count)
+        ]
+        self.cpu_nodes: List[CpuNode] = [
+            CpuNode(
+                fabric,
+                f"{name}-cpu{i}",
+                node_id=i + 1,
+                config=config,
+                memory_nodes=self.memory_nodes,
+                app_factory=app_factory,
+            )
+            for i in range(config.cpu_node_count)
+        ]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every CPU node; an election follows within the timeout."""
+        for cpu_node in self.cpu_nodes:
+            cpu_node.start()
+
+    def coordinator(self) -> Optional[CpuNode]:
+        """The CPU node currently in the coordinator role, if any."""
+        for cpu_node in self.cpu_nodes:
+            if cpu_node.is_coordinator:
+                return cpu_node
+        return None
+
+    def serving_coordinator(self) -> Optional[CpuNode]:
+        """The coordinator once it has finished recovery and serves."""
+        coordinator = self.coordinator()
+        if coordinator is not None and coordinator.serving:
+            return coordinator
+        return None
+
+    def wait_until_serving(self, timeout_us: Optional[float] = None):
+        """Process: poll until a coordinator is serving; returns it."""
+        deadline = None if timeout_us is None else self.fabric.sim.now + timeout_us
+        while True:
+            coordinator = self.serving_coordinator()
+            if coordinator is not None:
+                return coordinator
+            if deadline is not None and self.fabric.sim.now >= deadline:
+                raise GroupUnavailable(
+                    f"group {self.name} has no serving coordinator after "
+                    f"{timeout_us}us"
+                )
+            yield self.fabric.sim.timeout(1 * MS)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def crash_coordinator(self) -> Optional[CpuNode]:
+        """Kill the current coordinator (no-op when there is none)."""
+        coordinator = self.coordinator()
+        if coordinator is not None:
+            coordinator.crash()
+        return coordinator
+
+    def crash_cpu_node(self, index: int) -> None:
+        """Kill CPU node *index*."""
+        self.cpu_nodes[index].crash()
+
+    def restart_cpu_node(self, index: int) -> None:
+        """Restart CPU node *index* with fresh soft state."""
+        self.cpu_nodes[index].restart()
+
+    def crash_memory_node(self, index: int) -> None:
+        """Kill memory node *index* (volatile nodes lose their contents)."""
+        self.memory_nodes[index].crash()
+
+    def restart_memory_node(self, index: int) -> None:
+        """Restart memory node *index*; the coordinator will re-copy it."""
+        self.memory_nodes[index].restart()
+
+    def __repr__(self) -> str:
+        return (
+            f"<SiftGroup {self.name} fm={self.config.fm} fc={self.config.fc} "
+            f"ec={self.config.erasure_coding}>"
+        )

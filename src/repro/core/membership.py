@@ -1,0 +1,60 @@
+"""Group membership word.
+
+The paper brings a recovered memory node "into the system" after its
+region copy completes (§3.4.2) but leaves the bookkeeping implicit.  We
+make it explicit and crash-safe the same way Raft handles configuration
+changes: membership transitions are **logged writes** to a reserved
+address at the head of replicated memory, so they are committed through
+the same quorum WAL append as ordinary writes, and a new coordinator
+recovers the latest membership simply by replaying the log (§3.4.1).
+
+Encoding (64 bits, little-endian at logical address 0):
+``epoch (32b) | member bitmap (16b) | reserved (16b)``.  A zero word is
+the bootstrap state and means "all 2Fm + 1 nodes are members".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, NamedTuple
+
+__all__ = ["Membership", "MEMBERSHIP_ADDR", "RESERVED_BYTES"]
+
+MEMBERSHIP_ADDR = 0
+RESERVED_BYTES = 64
+"""Reserved prefix of the logical address space; applications start above it."""
+
+
+class Membership(NamedTuple):
+    """A committed membership view."""
+
+    epoch: int
+    members: FrozenSet[int]
+
+    def pack(self) -> bytes:
+        """Encode into the on-memory-node word."""
+        bitmap = 0
+        for index in self.members:
+            if not 0 <= index < 16:
+                raise ValueError(f"member index {index} out of bitmap range")
+            bitmap |= 1 << index
+        word = (self.epoch & 0xFFFFFFFF) | (bitmap << 32)
+        return word.to_bytes(8, "little")
+
+    @classmethod
+    def unpack(cls, raw: bytes, total_nodes: int) -> "Membership":
+        """Decode; a zero word bootstraps to all-members at epoch 0."""
+        word = int.from_bytes(raw[:8], "little")
+        if word == 0:
+            return cls(0, frozenset(range(total_nodes)))
+        epoch = word & 0xFFFFFFFF
+        bitmap = (word >> 32) & 0xFFFF
+        members = frozenset(i for i in range(total_nodes) if bitmap & (1 << i))
+        return cls(epoch, members)
+
+    def with_member(self, index: int) -> "Membership":
+        """Next epoch with *index* joined."""
+        return Membership(self.epoch + 1, self.members | {index})
+
+    def without_member(self, index: int) -> "Membership":
+        """Next epoch with *index* removed."""
+        return Membership(self.epoch + 1, self.members - {index})

@@ -1,0 +1,434 @@
+"""Fault recovery (§3.4).
+
+Two procedures, both executed by coordinator-side processes against
+passive memory nodes:
+
+**Coordinator (log) recovery, §3.4.1.**  A newly elected coordinator
+reads the circular logs from all reachable memory nodes, merges them into
+"a consistent, up-to-date version of the log", repairs nodes whose logs
+differ from the majority, and replays the merged log so that "all
+previously committed writes have been applied to the replicated memory".
+The merge uses two rules beyond the paper's prose, both forced by the
+same races Raft handles:
+
+* at equal log index, the entry with the higher *term* wins (a deposed
+  coordinator may have left a divergent entry on a minority node);
+* entries beyond the last index of the highest term present are dropped
+  (an old coordinator's unacknowledged suffix must not resurrect after
+  the newer coordinator has served conflicting state).
+
+**Memory-node recovery, §3.4.2.**  A background thread polls failed
+nodes; when one reconnects, the coordinator incrementally read-locks
+regions of memory and copies them over, degrading write throughput
+gradually while leaving reads unaffected, then commits a membership
+change that brings the node back into quorums.  While the copy runs the
+node already receives WAL appends and background applies — the block
+locks guarantee a copied range cannot be concurrently applied to, which
+is what makes the copy linearisable.
+
+**Trust.**  A volatile memory node that crashes and restarts comes back
+with zeroed DRAM, yet its admin word is writable again, so a recovering
+coordinator must be able to tell "member with intact state" from "member
+that silently lost everything".  Each node carries a *status word* in an
+exclusive metadata region: the coordinator stamps it ``INITIALISED``
+after bootstrap or a completed copy, and a restart wipes it.  Only
+``member AND status-initialised`` nodes serve reads or count as data
+sources.  Additionally, a coordinator commits a membership *removal*
+immediately upon detecting a node failure; this closes the window in
+which a successor could trust a node whose failure the old coordinator
+had seen but not yet recorded.  (The one remaining hole — the old
+coordinator dies before the removal commits *and* the WAL wraps before
+the successor recovers — would need ~WAL-size committed writes in a few
+hundred microseconds; we document rather than defend against it.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Set
+
+from repro.core.errors import GroupUnavailable
+from repro.core.locks import LockMode
+from repro.core.membership import MEMBERSHIP_ADDR, Membership
+from repro.core.replicated_memory import NodeState, ReplicatedMemory
+from repro.rdma.errors import RdmaError
+from repro.rdma.qp import QueuePair
+from repro.sim.engine import all_of
+from repro.storage.memory_node import (
+    META_REGION,
+    REPMEM_REGION,
+    STATUS_INITIALISED,
+    STATUS_UNINITIALISED,
+)
+from repro.storage.wal import WalEntry
+
+__all__ = ["recover_log", "RecoveryResult", "MemoryNodeRecoveryManager"]
+
+_WAL_READ_CHUNK = 256 * 1024
+"""Bytes per one-sided read while scanning a node's WAL."""
+
+
+class RecoveryResult(NamedTuple):
+    """Outcome of log recovery: who to activate, who to re-copy."""
+
+    membership: Membership
+    live: Set[int]
+    bootstrap: bool
+    replayed_entries: int
+
+
+def recover_log(repmem: ReplicatedMemory):
+    """Process: §3.4.1 log recovery; returns a :class:`RecoveryResult`.
+
+    Must run after :meth:`ReplicatedMemory.connect` and before
+    :meth:`ReplicatedMemory.activate`.  On return, every *trusted member*
+    node holds the merged log and fully replayed replicated memory, and
+    ``repmem.next_index`` points past the last recovered entry.
+    """
+    config = repmem.config
+    costs = repmem.costs
+    layout = repmem.wal_layout
+    connected = sorted(repmem.qps)
+    if len(connected) < config.quorum:
+        raise GroupUnavailable(
+            f"log recovery needs a quorum, only {len(connected)} nodes connected"
+        )
+
+    # 0. Which connected nodes still hold usable state?
+    trusted: Set[int] = set()
+    for n in connected:
+        try:
+            status = yield from repmem.read_status(n)
+        except RdmaError:
+            repmem.mark_node_dead(n)
+            continue
+        if status == STATUS_INITIALISED:
+            trusted.add(n)
+    connected = sorted(repmem.qps)
+
+    # 1. Read every connected node's WAL, in bounded chunks.  Untrusted
+    #    nodes are scanned too: a stale persistent node may hold genuine
+    #    entries that survive the merge rules below.
+    node_entries: Dict[int, Dict[int, WalEntry]] = {}
+    for n in connected:
+        raw = bytearray()
+        offset = 0
+        try:
+            while offset < layout.total_bytes:
+                take = min(_WAL_READ_CHUNK, layout.total_bytes - offset)
+                data = yield repmem.qps[n].read(REPMEM_REGION, offset, take)
+                raw += data
+                offset += take
+        except RdmaError:
+            repmem.mark_node_dead(n)
+            trusted.discard(n)
+            continue
+        yield repmem.host.execute(costs.apply_entry_us)  # header scan pass
+        entries: Dict[int, WalEntry] = {}
+        for slot in range(layout.entry_count):
+            begin = slot * layout.slot_bytes
+            entry = repmem.codec.decode(bytes(raw[begin : begin + layout.slot_bytes]))
+            if entry is not None:
+                entries[entry.log_index] = entry
+        node_entries[n] = entries
+    if len(node_entries) < config.quorum:
+        raise GroupUnavailable("lost quorum while reading WALs")
+
+    # 2. Merge: per index keep the max-term entry; truncate stale suffixes.
+    merged: Dict[int, WalEntry] = {}
+    for entries in node_entries.values():
+        for index, entry in entries.items():
+            best = merged.get(index)
+            if best is None or entry.term > best.term:
+                merged[index] = entry
+    authoritative: List[WalEntry] = []
+    if merged:
+        max_term = max(entry.term for entry in merged.values())
+        last_index = max(
+            index for index, entry in merged.items() if entry.term == max_term
+        )
+        authoritative = [
+            merged[index] for index in sorted(merged) if index <= last_index
+        ]
+        repmem.next_index = last_index + 1
+
+    # 3. Bootstrap: nobody initialised and nothing logged means a fresh
+    #    group; adopt the connected set and stamp everyone.
+    total = len(repmem.memory_nodes)
+    if not trusted and not authoritative:
+        membership = Membership(1, frozenset(connected))
+        for n in connected:
+            yield from repmem.write_status(n, STATUS_INITIALISED)
+        repmem.membership = membership
+        return RecoveryResult(membership, set(connected), True, 0)
+
+    # 4. Determine membership: the newest membership entry in the merged
+    #    log wins; otherwise the max-epoch word applied on trusted nodes;
+    #    otherwise the trusted set itself (group died before its first
+    #    membership commit).
+    membership: Optional[Membership] = None
+    for entry in reversed(authoritative):
+        if entry.address == MEMBERSHIP_ADDR:
+            membership = Membership.unpack(entry.data, total)
+            break
+    if membership is None:
+        best: Optional[Membership] = None
+        for n in sorted(trusted):
+            try:
+                word = yield repmem.qps[n].read(
+                    REPMEM_REGION, repmem.amap.raw_extent(MEMBERSHIP_ADDR), 8
+                )
+            except RdmaError:
+                repmem.mark_node_dead(n)
+                trusted.discard(n)
+                continue
+            if int.from_bytes(word, "little") == 0:
+                continue
+            decoded = Membership.unpack(word, total)
+            if best is None or decoded.epoch > best.epoch:
+                best = decoded
+        membership = best if best is not None else Membership(0, frozenset(trusted))
+
+    live = trusted & membership.members & set(repmem.qps)
+    if len(live) < config.quorum:
+        salvaged = yield from _try_salvage(repmem, membership, live, trusted)
+        if salvaged is None:
+            raise GroupUnavailable(
+                f"only {len(live)} trusted member nodes reachable, need {config.quorum}"
+            )
+        live = salvaged
+        trusted |= salvaged
+
+    # 5. Repair lagging logs on the nodes that will serve (§3.4.1).
+    repair_acks = []
+    for n in sorted(live):
+        entries = node_entries.get(n, {})
+        for entry in authoritative:
+            if entries.get(entry.log_index) == entry:
+                continue
+            image = repmem.codec.encode(entry)
+            offset = layout.slot_offset(entry.log_index)
+            repair_acks.append(repmem.qps[n].write(REPMEM_REGION, offset, image))
+    if repair_acks:
+        yield all_of(repmem.sim, repair_acks)
+
+    # 6. Replay every recovered entry onto every live node, in log order.
+    #    Replays are absolute writes, so re-applying already-applied
+    #    entries is idempotent.
+    for entry in authoritative:
+        yield repmem.host.execute(costs.apply_entry_us)
+        chunks = None
+        if repmem.rs is not None and repmem.amap.is_encoded(entry.address, len(entry.data)):
+            kb = len(entry.data) / 1024.0
+            yield repmem.host.execute(costs.ec_encode_us_per_kb * kb)
+            block = repmem.amap.block_index(entry.address)
+            start, end = repmem.amap.block_bounds(block)
+            if entry.address != start or len(entry.data) != end - start:
+                raise GroupUnavailable(
+                    "corrupt WAL: partial-block entry in the encoded zone"
+                )
+            chunks = repmem.rs.encode(entry.data)
+        acks = []
+        for n in sorted(live):
+            qp = repmem.qps.get(n)
+            if qp is None:
+                continue
+            if chunks is not None:
+                offset = repmem.amap.chunk_extent(repmem.amap.block_index(entry.address))
+                payload = chunks[n]
+            else:
+                offset = repmem.amap.raw_extent(entry.address)
+                payload = entry.data
+            acks.append(qp.write(REPMEM_REGION, offset, payload))
+        if acks:
+            yield all_of(repmem.sim, acks)
+
+    repmem.membership = membership
+    return RecoveryResult(membership, live, False, len(authoritative))
+
+
+def _try_salvage(repmem: ReplicatedMemory, membership: Membership, live: Set[int], trusted: Set[int]):
+    """Process: §3.5 salvage for minority-persistent deployments.
+
+    After a full power cycle, a group whose persistent nodes are a
+    *minority* has intact data on too few nodes to form a quorum, while
+    the volatile majority restarted blank.  When plain replication is in
+    use (any single replica is a complete copy), **every** member is
+    reachable, and at least one is trusted, the surviving replica is
+    authoritative up to the §3.5 caveat — acknowledged writes whose
+    commit quorum consisted entirely of volatile nodes may be lost,
+    which is exactly the "tunable amounts of data loss" the paper
+    describes for this configuration.  The salvage copies the trusted
+    replica onto each blank member and stamps their status words, after
+    which recovery proceeds normally.
+
+    Returns the new live set, or None when salvage is not applicable
+    (erasure coding — one node does not hold a decodable copy — or an
+    unreachable member that might hold newer state).
+    """
+    config = repmem.config
+    if config.erasure_coding or not live:
+        return None
+    connected = set(repmem.qps)
+    if not membership.members <= connected:
+        return None  # an absent member could hold newer committed state
+    source = repmem.qps[min(live)]
+    targets = sorted(membership.members - live)
+    node_config = config.memory_node_config()
+    begin = node_config.data_offset
+    end = node_config.data_offset + node_config.data_bytes
+    for n in targets:
+        offset = begin
+        while offset < end:
+            take = min(_WAL_READ_CHUNK, end - offset)
+            data = yield source.read(REPMEM_REGION, offset, take)
+            yield repmem.qps[n].write(REPMEM_REGION, offset, data)
+            offset += take
+        yield from repmem.write_status(n, STATUS_INITIALISED)
+    return set(membership.members)
+
+
+class MemoryNodeRecoveryManager:
+    """§3.4.2: background poller + incremental copy for failed nodes."""
+
+    def __init__(self, repmem: ReplicatedMemory):
+        self.repmem = repmem
+        self.running = False
+        self._recovering: Set[int] = set()
+        self.recoveries_completed = 0
+
+    def start(self) -> None:
+        """Spawn the background poller on the coordinator host."""
+        self.running = True
+        self.repmem.host.spawn(self._poller(), name="memnode-recovery")
+
+    def stop(self) -> None:
+        """Stop polling (the coordinator is shutting down or deposed)."""
+        self.running = False
+
+    # -- background poller -------------------------------------------------------
+
+    def _poller(self):
+        repmem = self.repmem
+        while self.running and repmem.running and not repmem.deposed:
+            yield repmem.sim.timeout(repmem.config.memnode_poll_interval_us)
+            if not self.running or not repmem.running or repmem.deposed:
+                return
+            for n, state in list(repmem.states.items()):
+                if state != NodeState.DEAD or n in self._recovering:
+                    continue
+                node = repmem.memory_nodes[n]
+                if not node.alive:
+                    continue
+                if not repmem.nic.fabric.reachable(repmem.host.name, node.name):
+                    continue
+                self._recovering.add(n)
+                repmem.host.spawn(self._recover_node(n), name=f"recover-mem-{n}")
+
+    # -- one node's recovery --------------------------------------------------------
+
+    def _recover_node(self, n: int):
+        repmem = self.repmem
+        node = repmem.memory_nodes[n]
+        try:
+            qp = QueuePair(repmem.nic, node.listener, name=f"repmem-{n}")
+            try:
+                yield repmem.host.spawn(qp.connect([REPMEM_REGION, META_REGION]))
+            except Exception:
+                return  # node vanished again; the poller will retry
+            # The node must not be trusted (nor be a member) until the
+            # copy completes, even if it is a stale persistent node.
+            yield from repmem.commit_membership(
+                lambda m: m.without_member(n) if n in m.members else m
+            )
+            repmem.begin_node_recovery(n, qp)
+            yield from repmem.write_status(n, STATUS_UNINITIALISED)
+
+            yield from self._copy_all(n, qp)
+            if not repmem.running or repmem.deposed:
+                return
+            yield from repmem.write_status(n, STATUS_INITIALISED)
+            repmem.finish_node_recovery(n)
+            yield from repmem.commit_membership(lambda m: m.with_member(n))
+            self.recoveries_completed += 1
+        except Exception:
+            # Any failure (node died again, we got deposed) abandons the
+            # attempt; a later poll retries from scratch.
+            repmem.mark_node_dead(n)
+        finally:
+            self._recovering.discard(n)
+
+    def _copy_all(self, n: int, qp: QueuePair):
+        """Incrementally copy the whole logical space to node *n*.
+
+        ``recovery_parallelism`` chunk copies run concurrently — the
+        paper's aggressive strategy, whose bandwidth use is what dents
+        workload throughput in Figure 11.
+        """
+        repmem = self.repmem
+        plan = self._copy_plan()
+        plan.reverse()  # consumed via pop() from the front of the order
+        workers = max(1, repmem.config.recovery_parallelism)
+        failures: List[BaseException] = []
+
+        def worker():
+            while plan and repmem.running and not repmem.deposed:
+                addr, length = plan.pop()
+                blocks = repmem.amap.blocks_of(addr, length)
+                token = yield from repmem.locks.acquire(blocks, LockMode.READ)
+                try:
+                    yield from self._copy_range(n, qp, addr, length)
+                except BaseException as exc:
+                    failures.append(exc)
+                    return
+                finally:
+                    repmem.locks.release(token)
+
+        procs = [repmem.host.spawn(worker(), name=f"copy-{n}") for _ in range(workers)]
+        for proc in procs:
+            try:
+                yield proc
+            except Exception as exc:
+                failures.append(exc)
+        if failures:
+            raise failures[0]
+
+    def _copy_plan(self):
+        """The chunk ranges to copy, in the configured order.
+
+        ``sequential`` walks the address space (the paper's aggressive
+        default).  ``popularity`` implements the §6.5 proposal: copy in
+        order of *increasing* read popularity, so the hottest ranges
+        stay writable (and their write locks uncontended) for most of
+        the recovery window.
+        """
+        repmem = self.repmem
+        config = repmem.config
+        step = config.recovery_chunk_bytes
+        ranges = []
+        addr = 0
+        while addr < config.data_bytes:
+            length = min(step, config.data_bytes - addr)
+            if addr < config.direct_bytes:
+                # Never straddle the direct/encoded zone boundary.
+                length = min(length, config.direct_bytes - addr)
+            ranges.append((addr, length))
+            addr += length
+        if config.recovery_order == "popularity":
+            popularity = repmem.read_popularity
+            ranges.sort(key=lambda r: popularity.get(r[0] // step, 0))
+        return ranges
+
+    def _copy_range(self, n: int, qp: QueuePair, addr: int, length: int):
+        repmem = self.repmem
+        if not repmem.amap.is_encoded(addr, length):
+            data = yield from repmem._raw_read(addr, length)
+            yield qp.write(REPMEM_REGION, repmem.amap.raw_extent(addr), data)
+            return
+        first = repmem.amap.block_index(addr)
+        last = repmem.amap.block_index(addr + length - 1)
+        for block in range(first, last + 1):
+            data = yield from repmem._read_encoded_block(block)
+            kb = len(data) / 1024.0
+            yield repmem.host.execute(repmem.costs.ec_encode_us_per_kb * kb)
+            shard = repmem.rs.encode(data)[n]
+            yield qp.write(REPMEM_REGION, repmem.amap.chunk_extent(block), shard)

@@ -1,0 +1,25 @@
+"""Erasure coding (Sift EC, §5.1).
+
+Sift splits each block of size *B* into ``Fm + 1`` data chunks and derives
+``Fm`` parity chunks with a Cauchy Reed-Solomon code, one chunk per memory
+node; any ``Fm + 1`` chunks rebuild the block, so fault tolerance matches
+plain replication while memory per node shrinks by a factor of ``Fm + 1``.
+
+The code here is self-contained: :mod:`repro.ec.gf256` implements the
+field, :mod:`repro.ec.matrix` the linear algebra over it, and
+:mod:`repro.ec.reed_solomon` the systematic Cauchy-matrix code (the paper
+uses the cm256 library [26]; this is a from-scratch equivalent).
+"""
+
+from repro.ec.gf256 import gf_add, gf_div, gf_inv, gf_mul, gf_pow
+from repro.ec.reed_solomon import CauchyRSCode, DecodeError
+
+__all__ = [
+    "CauchyRSCode",
+    "DecodeError",
+    "gf_add",
+    "gf_div",
+    "gf_inv",
+    "gf_mul",
+    "gf_pow",
+]

@@ -1,0 +1,100 @@
+"""Matrix algebra over GF(2^8): multiply, invert, Cauchy construction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ec.gf256 import EXP, LOG, gf_inv
+
+__all__ = ["gf_matmul", "gf_mat_inv", "cauchy_matrix", "identity"]
+
+
+def identity(n: int) -> np.ndarray:
+    """The n-by-n identity matrix over the field."""
+    return np.eye(n, dtype=np.uint8)
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2^8).
+
+    Computed row-by-row with the exp/log tables; XOR replaces summation.
+    Shapes follow numpy convention: (n, k) @ (k, m) -> (n, m).
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} @ {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for i in range(a.shape[0]):
+        acc = np.zeros(b.shape[1], dtype=np.uint8)
+        row = a[i]
+        for j in range(a.shape[1]):
+            coeff = int(row[j])
+            if coeff == 0:
+                continue
+            col = b[j]
+            nz = col != 0
+            term = np.zeros_like(col)
+            term[nz] = EXP[int(LOG[coeff]) + LOG[col[nz]]]
+            acc ^= term
+        out[i] = acc
+    return out
+
+
+def gf_mat_inv(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square matrix with Gauss-Jordan elimination over the field.
+
+    Raises ``np.linalg.LinAlgError`` on singular input so callers can use
+    the same exception type they would with real-valued numpy.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ValueError(f"matrix must be square, got {matrix.shape}")
+    work = np.concatenate([matrix.copy(), identity(n)], axis=1).astype(np.uint8)
+    for col in range(n):
+        pivot_row = None
+        for row in range(col, n):
+            if work[row, col] != 0:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            raise np.linalg.LinAlgError("matrix is singular over GF(2^8)")
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+        # Scale the pivot row to make the pivot 1.
+        inv_pivot = gf_inv(int(work[col, col]))
+        log_inv = int(LOG[inv_pivot])
+        row_vals = work[col]
+        nz = row_vals != 0
+        scaled = np.zeros_like(row_vals)
+        scaled[nz] = EXP[log_inv + LOG[row_vals[nz]]]
+        work[col] = scaled
+        # Eliminate the column from every other row.
+        for row in range(n):
+            if row == col or work[row, col] == 0:
+                continue
+            factor = int(work[row, col])
+            log_f = int(LOG[factor])
+            pivot_vals = work[col]
+            nz = pivot_vals != 0
+            term = np.zeros_like(pivot_vals)
+            term[nz] = EXP[log_f + LOG[pivot_vals[nz]]]
+            work[row] ^= term
+    return work[:, n:].copy()
+
+
+def cauchy_matrix(rows: int, cols: int) -> np.ndarray:
+    """A rows-by-cols Cauchy matrix: ``C[i][j] = 1 / (x_i ^ y_j)``.
+
+    ``x_i = i`` and ``y_j = rows + j`` are distinct field elements, so every
+    square submatrix is invertible — the property that makes any Fm+1 of
+    the 2Fm+1 chunks sufficient to rebuild a block.
+    """
+    if rows + cols > 256:
+        raise ValueError(f"rows + cols must be <= 256, got {rows + cols}")
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = gf_inv(i ^ (rows + j))
+    return out

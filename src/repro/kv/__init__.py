@@ -1,0 +1,26 @@
+"""The recoverable key-value store built on replicated memory (§4).
+
+Four on-memory structures, all living inside the Sift replicated memory
+at predefined logical addresses (§4.1):
+
+* an array of fixed-size **data blocks** (16 B header + 32 B key +
+  992 B value),
+* an **index table** of bucket-head pointers (hashing with chaining,
+  12.5% maximum load factor),
+* a **bitmap** tracking free data blocks,
+* a circular **write-ahead log**, separate from the replicated-memory
+  WAL, living in the direct-write window so a put commits in a single
+  RDMA round trip (§4.2).
+
+The index table and bitmap are cached at the coordinator; a value cache
+holds up to 50% of the pairs and never evicts entries with pending
+updates (§4.2).  Recovery (§4.3) reloads the index table and bitmap,
+then replays the KV log above the applied watermark.
+"""
+
+from repro.kv.client import KvClient
+from repro.kv.config import KvConfig
+from repro.kv.layout import KvLayout
+from repro.kv.store import KvServer, kv_app_factory
+
+__all__ = ["KvClient", "KvConfig", "KvLayout", "KvServer", "kv_app_factory"]

@@ -1,0 +1,36 @@
+"""Simulated network substrate.
+
+This package provides the pieces every distributed component sits on:
+
+* :class:`~repro.net.host.Host` — a machine with a multi-core CPU pool,
+  liveness state, and crash/restart injection.
+* :class:`~repro.net.fabric.Fabric` — the network connecting hosts, with
+  per-message latency sampling and partition support.
+* :class:`~repro.net.latency.LatencyModel` and friends — calibrated
+  latency profiles for the RPC path and the RDMA path.
+* :mod:`~repro.net.rpc` — the select-style RPC channel used between
+  clients and the coordinator (the paper attributes roughly 50 µs of
+  request latency to this layer; see §6.3.3).
+"""
+
+from repro.net.errors import HostDown, NetworkError, RpcTimeout, Unreachable
+from repro.net.fabric import Fabric
+from repro.net.host import Host
+from repro.net.latency import FixedLatency, LatencyModel, LinearLatency
+from repro.net.partition import PartitionController
+from repro.net.rpc import RpcClient, RpcEndpoint
+
+__all__ = [
+    "Fabric",
+    "FixedLatency",
+    "Host",
+    "HostDown",
+    "LatencyModel",
+    "LinearLatency",
+    "NetworkError",
+    "PartitionController",
+    "RpcClient",
+    "RpcEndpoint",
+    "RpcTimeout",
+    "Unreachable",
+]

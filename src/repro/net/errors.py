@@ -1,0 +1,24 @@
+"""Exception types raised by the network substrate.
+
+These are *modelled* faults — the failures a real deployment would see —
+as opposed to :class:`repro.sim.SimulationError`, which flags misuse of
+the simulator itself.
+"""
+
+__all__ = ["NetworkError", "Unreachable", "HostDown", "RpcTimeout"]
+
+
+class NetworkError(Exception):
+    """Base class for modelled network failures."""
+
+
+class Unreachable(NetworkError):
+    """The destination cannot be reached (partition or dead host)."""
+
+
+class HostDown(NetworkError):
+    """An operation was attempted from or on a crashed host."""
+
+
+class RpcTimeout(NetworkError):
+    """An RPC did not receive a response within its deadline."""

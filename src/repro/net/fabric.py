@@ -1,0 +1,153 @@
+"""The network fabric: host registry, delivery, partitions.
+
+The fabric is deliberately thin: given a source host, a destination host,
+a payload size and a latency model it either schedules a delivery callback
+or reports the destination unreachable.  Reachability is evaluated **at
+send time and again at arrival time**, so a message in flight when its
+destination crashes is lost, exactly as on a real network.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Optional, Set
+
+from repro.net.errors import HostDown, Unreachable
+from repro.net.host import Host
+from repro.net.latency import LatencyModel, LinearLatency
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngStreams
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Connects hosts; samples latencies; enforces partitions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: Optional[RngStreams] = None,
+        default_latency: Optional[LatencyModel] = None,
+    ):
+        self.sim = sim
+        self.rng = rng if rng is not None else RngStreams(seed=0)
+        self.default_latency = default_latency or LinearLatency(base_us=5.0)
+        self.hosts: Dict[str, Host] = {}
+        self._blocked_pairs: Set[FrozenSet[str]] = set()
+        self._isolated: Set[str] = set()
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def add_host(self, name: str, cores: int = 1) -> Host:
+        """Create and register a host."""
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name: {name}")
+        host = Host(self.sim, name, cores=cores)
+        self.hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        """Look up a registered host."""
+        return self.hosts[name]
+
+    # -- partitions ------------------------------------------------------------
+
+    def block(self, a: str, b: str) -> None:
+        """Drop all traffic between hosts *a* and *b* until unblocked."""
+        self._blocked_pairs.add(frozenset((a, b)))
+
+    def unblock(self, a: str, b: str) -> None:
+        """Restore traffic between hosts *a* and *b*."""
+        self._blocked_pairs.discard(frozenset((a, b)))
+
+    def isolate(self, name: str) -> None:
+        """Cut a host off from everyone (asymmetric partitions via block())."""
+        self._isolated.add(name)
+
+    def rejoin(self, name: str) -> None:
+        """Undo :meth:`isolate`."""
+        self._isolated.discard(name)
+
+    def heal(self) -> None:
+        """Remove every partition."""
+        self._blocked_pairs.clear()
+        self._isolated.clear()
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether a message sent now from *src* would arrive at *dst*."""
+        if src in self._isolated or dst in self._isolated:
+            return False
+        if frozenset((src, dst)) in self._blocked_pairs:
+            return False
+        dst_host = self.hosts.get(dst)
+        return dst_host is not None and dst_host.alive
+
+    # -- delivery ------------------------------------------------------------
+
+    def deliver(
+        self,
+        src: Host,
+        dst: Host,
+        size_bytes: int,
+        on_arrival: Callable[[], Any],
+        latency: Optional[LatencyModel] = None,
+        stream: str = "net",
+    ) -> bool:
+        """Schedule *on_arrival* at *dst* after a sampled latency.
+
+        Returns False (and delivers nothing) when the destination is
+        unreachable at send time; a destination that dies in flight
+        silently swallows the message.
+        """
+        if not src.alive:
+            raise HostDown(f"send from dead host {src.name}")
+        if not self.reachable(src.name, dst.name):
+            return False
+        model = latency or self.default_latency
+        delay = model.sample(self.rng.stream(stream), size_bytes)
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        dst_incarnation = dst.incarnation
+
+        def arrive() -> None:
+            if not dst.alive or dst.incarnation != dst_incarnation:
+                return  # crashed (or crashed+restarted) while in flight
+            if not self.reachable(src.name, dst.name):
+                return  # partition formed while in flight
+            on_arrival()
+
+        self.sim.schedule(delay, arrive)
+        return True
+
+    def round_trip(
+        self,
+        src: Host,
+        dst: Host,
+        request_bytes: int,
+        response_bytes: int,
+        latency: Optional[LatencyModel] = None,
+        stream: str = "net",
+    ) -> Event:
+        """A fire-and-forget request/response pair with no remote CPU.
+
+        Used by substrates whose remote side is passive.  The returned
+        event fails with :class:`Unreachable` if either direction is cut.
+        """
+        done = Event(self.sim)
+
+        def respond() -> None:
+            if not self.deliver(
+                dst,
+                src,
+                response_bytes,
+                lambda: done.try_trigger(None),
+                latency=latency,
+                stream=stream,
+            ):
+                done.try_fail(Unreachable(f"{dst.name} -> {src.name}"))
+
+        if not self.deliver(src, dst, request_bytes, respond, latency=latency, stream=stream):
+            done.try_fail(Unreachable(f"{src.name} -> {dst.name}"))
+        return done

@@ -1,0 +1,182 @@
+"""RocksLite: a small persistent KV store (RocksDB substitute).
+
+Real RocksDB is not available offline, so this is a from-scratch
+equivalent exercising the same code path the paper describes (§3.5): a
+write-ahead file that every update is appended to, an in-memory
+memtable, and checkpoint files that bound recovery work.  The on-disk
+format is deliberately simple and fully self-describing:
+
+* ``wal.log`` — length-prefixed records ``op | key | value`` with CRCs;
+* ``checkpoint-<n>.snap`` — a sorted dump of the memtable at sequence
+  *n*; recovery loads the newest valid checkpoint then replays the WAL
+  suffix.
+
+Durability here is process-crash durability (files are flushed on
+``sync()``); that is what the experiments need.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["RocksLite"]
+
+_REC = struct.Struct("<QBII")  # seq, op, key_len, val_len
+_CRC = struct.Struct("<I")
+_OP_PUT = 1
+_OP_DELETE = 2
+
+
+class RocksLite:
+    """A persistent key-value store backed by a directory."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._memtable: Dict[bytes, bytes] = {}
+        self.seq = 0
+        self._checkpoint_seq = 0
+        self._wal_path = os.path.join(directory, "wal.log")
+        self._recover()
+        self._wal = open(self._wal_path, "ab")
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> int:
+        """Append a put; returns its sequence number."""
+        return self._append(_OP_PUT, key, value)
+
+    def delete(self, key: bytes) -> int:
+        """Append a delete tombstone."""
+        return self._append(_OP_DELETE, key, b"")
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Read from the memtable (always current)."""
+        return self._memtable.get(bytes(key))
+
+    def __len__(self) -> int:
+        return len(self._memtable)
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate the live key-value pairs."""
+        return iter(self._memtable.items())
+
+    def sync(self) -> None:
+        """Flush the WAL to the OS and disk."""
+        self._wal.flush()
+        os.fsync(self._wal.fileno())
+
+    def _append(self, op: int, key: bytes, value: bytes) -> int:
+        key = bytes(key)
+        value = bytes(value)
+        self.seq += 1
+        header = _REC.pack(self.seq, op, len(key), len(value))
+        payload = header + key + value
+        self._wal.write(payload + _CRC.pack(zlib.crc32(payload)))
+        if op == _OP_PUT:
+            self._memtable[key] = value
+        else:
+            self._memtable.pop(key, None)
+        return self.seq
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> str:
+        """Write a full snapshot and truncate the WAL; returns its path."""
+        self.sync()
+        path = os.path.join(self.directory, f"checkpoint-{self.seq}.snap")
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as snap:
+            snap.write(struct.pack("<Q", self.seq))
+            for key in sorted(self._memtable):
+                value = self._memtable[key]
+                record = struct.pack("<II", len(key), len(value)) + key + value
+                snap.write(record)
+            snap.flush()
+            os.fsync(snap.fileno())
+        os.replace(tmp, path)
+        self._checkpoint_seq = self.seq
+        # Safe to truncate: the snapshot covers everything in the WAL.
+        self._wal.close()
+        self._wal = open(self._wal_path, "wb")
+        self._drop_old_checkpoints(keep=path)
+        return path
+
+    def _drop_old_checkpoints(self, keep: str) -> None:
+        for name in os.listdir(self.directory):
+            if name.startswith("checkpoint-") and name.endswith(".snap"):
+                path = os.path.join(self.directory, name)
+                if path != keep:
+                    os.remove(path)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        newest: Optional[Tuple[int, str]] = None
+        for name in os.listdir(self.directory):
+            if name.startswith("checkpoint-") and name.endswith(".snap"):
+                try:
+                    seq = int(name[len("checkpoint-") : -len(".snap")])
+                except ValueError:
+                    continue
+                if newest is None or seq > newest[0]:
+                    newest = (seq, os.path.join(self.directory, name))
+        if newest is not None:
+            self._load_checkpoint(newest[1])
+        self._replay_wal()
+
+    def _load_checkpoint(self, path: str) -> None:
+        with open(path, "rb") as snap:
+            raw = snap.read()
+        if len(raw) < 8:
+            return
+        self.seq = self._checkpoint_seq = struct.unpack_from("<Q", raw)[0]
+        offset = 8
+        while offset + 8 <= len(raw):
+            key_len, val_len = struct.unpack_from("<II", raw, offset)
+            offset += 8
+            if offset + key_len + val_len > len(raw):
+                break  # truncated tail of a torn snapshot write
+            key = raw[offset : offset + key_len]
+            value = raw[offset + key_len : offset + key_len + val_len]
+            self._memtable[bytes(key)] = bytes(value)
+            offset += key_len + val_len
+
+    def _replay_wal(self) -> None:
+        if not os.path.exists(self._wal_path):
+            return
+        with open(self._wal_path, "rb") as wal:
+            raw = wal.read()
+        offset = 0
+        while offset + _REC.size + _CRC.size <= len(raw):
+            seq, op, key_len, val_len = _REC.unpack_from(raw, offset)
+            total = _REC.size + key_len + val_len
+            if offset + total + _CRC.size > len(raw):
+                break  # torn tail
+            payload = raw[offset : offset + total]
+            (crc,) = _CRC.unpack_from(raw, offset + total)
+            if zlib.crc32(payload) != crc:
+                break  # torn or corrupt record: stop replay here
+            key = bytes(payload[_REC.size : _REC.size + key_len])
+            value = bytes(payload[_REC.size + key_len :])
+            if seq > self.seq:
+                self.seq = seq
+                if op == _OP_PUT:
+                    self._memtable[key] = value
+                elif op == _OP_DELETE:
+                    self._memtable.pop(key, None)
+            offset += total + _CRC.size
+
+    def close(self) -> None:
+        """Flush and close the WAL file handle."""
+        self.sync()
+        self._wal.close()

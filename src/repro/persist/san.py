@@ -1,0 +1,73 @@
+"""Remotely mounted SAN / EBS device (§3.5).
+
+"Alternatively, the coordinator can persist logs onto a remotely
+mounted Storage Area Network (SAN) device, such as EBS on Amazon EC2,
+using a write-ahead logging strategy."
+
+The device is a host on the fabric with a millisecond-scale write
+latency (EBS-class) and a FIFO ordering guarantee; the coordinator
+appends log records and can await durability.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.net.errors import Unreachable
+from repro.net.fabric import Fabric
+from repro.net.host import Host
+from repro.net.latency import LinearLatency
+from repro.sim.engine import Event
+
+__all__ = ["SanDevice"]
+
+EBS_LATENCY = LinearLatency(base_us=500.0, bytes_per_us=250.0, jitter=0.15)
+"""EBS-class: ~0.5-1 ms writes, ~250 MB/s throughput."""
+
+
+class _SanRecord(NamedTuple):
+    offset: int
+    data: bytes
+
+
+class SanDevice:
+    """A durable append-only volume reachable over the network."""
+
+    def __init__(self, fabric: Fabric, name: str = "san"):
+        self.fabric = fabric
+        self.host: Host = fabric.add_host(name, cores=2)
+        self._log: List[_SanRecord] = []
+        self._bytes = 0
+
+    @property
+    def durable_bytes(self) -> int:
+        """Bytes acknowledged as durable."""
+        return self._bytes
+
+    @property
+    def record_count(self) -> int:
+        return len(self._log)
+
+    def append(self, src: Host, data: bytes) -> Event:
+        """Write *data* durably; the event triggers on the write ack."""
+        done = Event(src.sim)
+        payload = bytes(data)
+
+        def arrive() -> None:
+            self._log.append(_SanRecord(self._bytes, payload))
+            self._bytes += len(payload)
+            self.fabric.deliver(
+                self.host, src, 64, lambda: done.try_trigger(self._bytes),
+                latency=EBS_LATENCY, stream="san",
+            )
+
+        sent = self.fabric.deliver(
+            src, self.host, len(payload), arrive, latency=EBS_LATENCY, stream="san"
+        )
+        if not sent:
+            done.try_fail(Unreachable(f"SAN {self.host.name} unreachable"))
+        return done
+
+    def read_all(self) -> bytes:
+        """Recovery: the concatenated durable log."""
+        return b"".join(record.data for record in self._log)

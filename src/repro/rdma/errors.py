@@ -1,0 +1,30 @@
+"""RDMA fault model.
+
+A verb either completes with an acknowledgement (reliable RC semantics)
+or the queue pair surfaces an error completion: retry-exhaustion when the
+peer is unreachable, protection faults for out-of-bounds access, and
+revocation when the peer accepted a newer exclusive connection.
+"""
+
+__all__ = [
+    "RdmaError",
+    "RdmaTimeout",
+    "RdmaProtectionError",
+    "RdmaConnectionRevoked",
+]
+
+
+class RdmaError(Exception):
+    """Base class for verb failures (the QP moved to an error state)."""
+
+
+class RdmaTimeout(RdmaError):
+    """Transport retries exhausted: the peer is dead or unreachable."""
+
+
+class RdmaProtectionError(RdmaError):
+    """Access outside the registered region, or a misaligned atomic."""
+
+
+class RdmaConnectionRevoked(RdmaError):
+    """The peer accepted a newer exclusive connection to this region."""

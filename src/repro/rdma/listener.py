@@ -1,0 +1,101 @@
+"""Target-side region export table.
+
+The listener is the only piece of RDMA machinery that consumes target CPU,
+and only during connection establishment — matching the paper's
+observation that "memory nodes need to be actively involved only in
+establishing the initial connections" (§3.1).
+
+Exports can be *exclusive*: accepting a new queue pair revokes the
+previous holder, implementing the at-most-one-connection fencing used to
+keep deposed coordinators from writing stale data (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Optional
+
+from repro.net.host import Host
+from repro.rdma.errors import RdmaProtectionError
+from repro.rdma.memory import MemoryRegion
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rdma.qp import QueuePair
+
+__all__ = ["RdmaListener"]
+
+
+class _Export:
+    __slots__ = ("region", "exclusive", "holder")
+
+    def __init__(self, region: MemoryRegion, exclusive: bool):
+        self.region = region
+        self.exclusive = exclusive
+        self.holder: Optional["QueuePair"] = None
+
+
+class RdmaListener:
+    """Registry of exported regions on a (memory) host."""
+
+    def __init__(self, host: Host, connect_cpu_us: float = 200.0):
+        self.host = host
+        self.connect_cpu_us = connect_cpu_us
+        self._exports: Dict[str, _Export] = {}
+        host.services["rdma-listener"] = self
+
+    def export(self, region: MemoryRegion, exclusive: bool = False) -> None:
+        """Publish *region* for remote access under its name."""
+        self._exports[region.name] = _Export(region, exclusive)
+
+    def unexport(self, name: str) -> None:
+        """Withdraw a region; established QPs fail on next access."""
+        self._exports.pop(name, None)
+
+    def lookup(self, name: str) -> MemoryRegion:
+        """Resolve an exported region (verb-time protection check)."""
+        export = self._exports.get(name)
+        if export is None:
+            raise RdmaProtectionError(
+                f"region {name!r} not exported by {self.host.name}"
+            )
+        return export.region
+
+    def holder_of(self, name: str) -> Optional["QueuePair"]:
+        """The queue pair currently holding an exclusive region, if any."""
+        export = self._exports.get(name)
+        return export.holder if export else None
+
+    # -- connection management (called from QueuePair.connect) ---------------
+
+    def attach(self, qp: "QueuePair", region_names: Iterable[str]) -> None:
+        """Grant *qp* access to the named regions, revoking exclusivity losers."""
+        names = list(region_names)
+        for name in names:
+            if name not in self._exports:
+                raise RdmaProtectionError(
+                    f"region {name!r} not exported by {self.host.name}"
+                )
+        for name in names:
+            export = self._exports[name]
+            if export.exclusive:
+                if export.holder is not None and export.holder is not qp:
+                    export.holder.revoke(
+                        f"region {name!r} re-attached by {qp.nic.host.name}"
+                    )
+                export.holder = qp
+
+    def detach(self, qp: "QueuePair") -> None:
+        """Drop *qp* from any exclusive holderships (graceful close)."""
+        for export in self._exports.values():
+            if export.holder is qp:
+                export.holder = None
+
+    # -- host lifecycle --------------------------------------------------------
+
+    def on_host_crash(self) -> None:
+        """DRAM and QP contexts vanish with the host."""
+        for export in self._exports.values():
+            export.holder = None
+
+    def clear(self) -> None:
+        """Forget all exports (used when re-initialising a restarted node)."""
+        self._exports.clear()

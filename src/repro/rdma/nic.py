@@ -1,0 +1,176 @@
+"""RDMA NIC model.
+
+The requester NIC is the serialisation point for outgoing verbs: payloads
+leave at link bandwidth through a single FIFO transmit queue (reusing the
+service-queue machinery from :class:`~repro.sim.cpu.CpuPool` with one
+server).  Propagation and the remote NIC's fixed per-verb processing are
+folded into a small base latency.  The remote *CPU* is never charged —
+that is the whole point of one-sided RDMA.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.net.fabric import Fabric
+from repro.net.host import Host
+from repro.net.latency import (
+    TEN_GBE_BYTES_PER_US,
+    FixedLatency,
+    LatencyModel,
+    LinearLatency,
+)
+from repro.rdma.errors import RdmaError, RdmaTimeout
+from repro.sim.cpu import CpuPool
+from repro.sim.engine import Event
+
+__all__ = ["Rnic", "DEFAULT_VERB_TIMEOUT_US"]
+
+DEFAULT_VERB_TIMEOUT_US = 1_000.0
+"""Retry-exhaustion budget for a verb against an unreachable peer."""
+
+DEFAULT_PROPAGATION = LinearLatency(base_us=1.5, bytes_per_us=1e12, jitter=0.05)
+"""One-way switch+wire+remote-NIC latency, independent of payload size."""
+
+
+class Rnic:
+    """Per-host RDMA NIC."""
+
+    def __init__(
+        self,
+        host: Host,
+        fabric: Fabric,
+        bytes_per_us: float = TEN_GBE_BYTES_PER_US,
+        propagation: Optional[LatencyModel] = None,
+        verb_overhead_us: float = 0.3,
+        timeout_us: float = DEFAULT_VERB_TIMEOUT_US,
+    ):
+        self.host = host
+        self.fabric = fabric
+        self.bytes_per_us = bytes_per_us
+        self.propagation = propagation or DEFAULT_PROPAGATION
+        self.verb_overhead_us = verb_overhead_us
+        self.timeout_us = timeout_us
+        self._txq = CpuPool(host.sim, 1, name=f"{host.name}.rnic.tx")
+        self._last_arrival: Dict[str, float] = {}
+        self.verbs_issued = 0
+        host.services["rnic"] = self
+
+    def on_host_crash(self) -> None:
+        """Drop queued transmissions; in-service ones are dropped on exit."""
+        self._txq.drain()
+
+    def ordered_deliver(
+        self, target: Host, on_arrival: Callable[[], None]
+    ) -> None:
+        """Deliver with RC in-order semantics toward *target*.
+
+        Reliable connections never reorder within a queue pair; latency
+        jitter alone could, so arrival times toward each target are
+        clamped to be monotonically increasing.
+        """
+        if not self.host.alive:
+            return
+        sim = self.host.sim
+        rng = self.fabric.rng.stream("rdma")
+        delay = self.propagation.sample(rng, 0)
+        arrival = max(sim.now + delay, self._last_arrival.get(target.name, 0.0))
+        self._last_arrival[target.name] = arrival
+        self.fabric.deliver(
+            self.host,
+            target,
+            0,
+            on_arrival,
+            latency=FixedLatency(arrival - sim.now),
+            stream="rdma",
+        )
+
+    def transfer(
+        self,
+        target: Host,
+        request_bytes: int,
+        response_bytes: int,
+        apply_remote: Callable[[], object],
+        timeout_us: Optional[float] = None,
+    ) -> Event:
+        """Issue one verb: serialise, propagate, apply remotely, ack back.
+
+        *apply_remote* runs atomically at the arrival instant on the target
+        and returns the verb result; raising :class:`RdmaError` there turns
+        the ack into an error completion.  The returned event triggers with
+        the result or fails with the error / :class:`RdmaTimeout`.
+        """
+        sim = self.host.sim
+        done = Event(sim)
+        budget = timeout_us if timeout_us is not None else self.timeout_us
+        sim.schedule(
+            budget,
+            lambda: done.try_fail(
+                RdmaTimeout(f"verb to {target.name} exceeded {budget}us")
+            ),
+        )
+        self.verbs_issued += 1
+
+        def after_serialise(_event: Event) -> None:
+            if not self.host.alive:
+                return  # the requester died with the op still in its tx queue
+            if not done.settled:
+                self._propagate(target, request_bytes, response_bytes, apply_remote, done)
+
+        serialise_cost = request_bytes / self.bytes_per_us + self.verb_overhead_us
+        self._txq.execute(serialise_cost).add_callback(after_serialise)
+        return done
+
+    def _propagate(
+        self,
+        target: Host,
+        request_bytes: int,
+        response_bytes: int,
+        apply_remote: Callable[[], object],
+        done: Event,
+    ) -> None:
+        def arrive() -> None:
+            try:
+                result = apply_remote()
+            except RdmaError as exc:
+                # Bind the exception eagerly: Python clears the except-clause
+                # variable when the block exits, before the ack fires.
+                error = exc
+                self._ack(target, 0, lambda: done.try_fail(error))
+                return
+            self._ack(target, response_bytes, lambda: done.try_trigger(result))
+
+        # Unreachable or in-flight loss is silent: the timeout fires.
+        self.ordered_deliver(target, arrive)
+
+    def _ack(self, target: Host, payload_bytes: int, complete: Callable[[], None]) -> None:
+        """Return the completion, serialising the response payload through
+        the *target's* transmit queue.
+
+        Bulk responses (recovery copy reads, WAL scans) therefore contend
+        with the workload's read responses on the memory node's egress
+        link — the resource whose saturation produces the Figure 11
+        throughput dip."""
+        model = self.propagation
+        rng = self.fabric.rng.stream("rdma")
+        src_incarnation = self.host.incarnation
+
+        def back() -> None:
+            if self.host.alive and self.host.incarnation == src_incarnation:
+                complete()
+
+        if not self.fabric.reachable(target.name, self.host.name):
+            return
+        delay = model.sample(rng, 0)
+        target_nic: Optional["Rnic"] = target.services.get("rnic")
+        if payload_bytes > 0 and target_nic is not None and target.alive:
+            cost = payload_bytes / target_nic.bytes_per_us
+
+            def after_serialise(_event: Event) -> None:
+                if target.alive:
+                    self.host.sim.schedule(delay, back)
+
+            target_nic._txq.execute(cost).add_callback(after_serialise)
+        else:
+            extra = payload_bytes / self.bytes_per_us
+            self.host.sim.schedule(delay + extra, back)

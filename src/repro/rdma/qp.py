@@ -1,0 +1,175 @@
+"""Reliable-connection queue pairs and the one-sided verbs.
+
+A queue pair binds a requester NIC to a target host's listener and a set
+of granted regions.  Verbs return simulation events:
+
+* :meth:`QueuePair.read`  — fetch bytes, response carries the payload;
+* :meth:`QueuePair.write` — store bytes, response is a small ack;
+* :meth:`QueuePair.cas`   — 64-bit compare-and-swap, returns the *old*
+  value (success is inferred by the caller, as with real atomics).
+
+Verb completion is an RC acknowledgement: when the event triggers, the
+remote memory holds the update.  Ordering within a queue pair follows
+from the NIC's FIFO transmit queue, which the protocol relies on when it
+"uses RDMA's ordering guarantees to maintain consistent state" (§3.3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from typing import Iterable, List, Optional, Tuple
+
+from repro.rdma.errors import RdmaConnectionRevoked, RdmaError
+from repro.rdma.listener import RdmaListener
+from repro.rdma.nic import Rnic
+from repro.sim.engine import Event
+
+__all__ = ["QueuePair", "QpState"]
+
+_qp_ids = itertools.count(1)
+
+CAS_WIRE_BYTES = 28  # ETH+IB headers dominate; payload is 8B compare + 8B swap
+ACK_WIRE_BYTES = 12
+
+
+class QpState(Enum):
+    """Connection lifecycle states."""
+
+    INIT = "init"
+    CONNECTED = "connected"
+    REVOKED = "revoked"
+    CLOSED = "closed"
+    ERROR = "error"
+
+
+class QueuePair:
+    """A reliable connection from a requester to a target's regions."""
+
+    def __init__(self, nic: Rnic, listener: RdmaListener, name: str = ""):
+        self.nic = nic
+        self.listener = listener
+        self.qp_id = next(_qp_ids)
+        self.name = name or f"qp{self.qp_id}"
+        self.state = QpState.INIT
+        self.granted: Tuple[str, ...] = ()
+        self._remote_incarnation: Optional[int] = None
+
+    @property
+    def target(self):
+        """The host on the far end of the connection."""
+        return self.listener.host
+
+    # -- connection management -------------------------------------------------
+
+    def connect(self, region_names: Iterable[str]):
+        """Process: establish the connection (the target CPU's only role).
+
+        Yields inside a host process.  Raises :class:`RdmaError` when the
+        target is unreachable or refuses the grant.
+        """
+        names = tuple(region_names)
+        fabric = self.nic.fabric
+        target = self.target
+
+        # Connection handshake: one round trip plus target CPU time to
+        # register the QP context and check grants.
+        handshake = fabric.round_trip(
+            self.nic.host, target, 256, 256, latency=self.nic.propagation, stream="rdma"
+        )
+        yield handshake
+        yield target.execute(self.listener.connect_cpu_us)
+        if not target.alive:
+            raise RdmaError(f"{target.name} died during connect")
+        self.listener.attach(self, names)
+        self.granted = names
+        self._remote_incarnation = target.incarnation
+        self.state = QpState.CONNECTED
+        return self
+
+    def close(self) -> None:
+        """Gracefully drop the connection (no remote round trip modelled)."""
+        if self.state is QpState.CONNECTED:
+            self.listener.detach(self)
+        self.state = QpState.CLOSED
+
+    def revoke(self, reason: str) -> None:
+        """Called by the listener when a newer exclusive connection lands."""
+        if self.state is QpState.CONNECTED:
+            self.state = QpState.REVOKED
+
+    # -- verbs -------------------------------------------------------------------
+
+    def read(self, region_name: str, offset: int, length: int) -> Event:
+        """One-sided READ of *length* bytes; event value is the payload."""
+        return self._post(
+            region_name,
+            request_bytes=ACK_WIRE_BYTES,
+            response_bytes=length,
+            apply=lambda region: region.read(offset, length),
+        )
+
+    def write(self, region_name: str, offset: int, data: bytes) -> Event:
+        """One-sided WRITE; completion ack means remote memory is updated."""
+        payload = bytes(data)
+        return self._post(
+            region_name,
+            request_bytes=len(payload),
+            response_bytes=ACK_WIRE_BYTES,
+            apply=lambda region: region.write(offset, payload),
+        )
+
+    def cas(self, region_name: str, offset: int, expected: int, new: int) -> Event:
+        """One-sided 64-bit CAS; event value is the previous word."""
+        return self._post(
+            region_name,
+            request_bytes=CAS_WIRE_BYTES,
+            response_bytes=ACK_WIRE_BYTES,
+            apply=lambda region: region.compare_and_swap(offset, expected, new),
+        )
+
+    def read_word(self, region_name: str, offset: int) -> Event:
+        """One-sided 8-byte READ returning an integer (heartbeat reads)."""
+        return self._post(
+            region_name,
+            request_bytes=ACK_WIRE_BYTES,
+            response_bytes=8,
+            apply=lambda region: region.read_word(offset),
+        )
+
+    # -- mechanics ---------------------------------------------------------------
+
+    def _post(self, region_name: str, request_bytes: int, response_bytes: int, apply) -> Event:
+        if self.state is not QpState.CONNECTED:
+            failed = Event(self.nic.host.sim)
+            failed.fail(self._state_error())
+            return failed
+        if region_name not in self.granted:
+            failed = Event(self.nic.host.sim)
+            failed.fail(
+                RdmaError(f"{self.name}: region {region_name!r} not granted")
+            )
+            return failed
+
+        def apply_remote():
+            if self._remote_incarnation != self.target.incarnation:
+                raise RdmaError(f"{self.name}: stale connection (peer rebooted)")
+            if self.state is QpState.REVOKED:
+                raise RdmaConnectionRevoked(f"{self.name}: connection revoked")
+            if self.state is not QpState.CONNECTED:
+                raise self._state_error()
+            region = self.listener.lookup(region_name)
+            return apply(region)
+
+        return self.nic.transfer(self.target, request_bytes, response_bytes, apply_remote)
+
+    def _state_error(self) -> RdmaError:
+        if self.state is QpState.REVOKED:
+            return RdmaConnectionRevoked(f"{self.name}: connection revoked")
+        return RdmaError(f"{self.name}: queue pair in state {self.state.value}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueuePair {self.name} {self.nic.host.name}->{self.target.name} "
+            f"{self.state.value}>"
+        )

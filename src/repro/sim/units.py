@@ -1,0 +1,15 @@
+"""Time-unit constants.
+
+The simulator clock counts **microseconds** as floats.  Microseconds were
+chosen over seconds so that the calibration constants for RDMA verbs
+(single-digit values) remain readable at a glance.
+"""
+
+US: float = 1.0
+"""One microsecond — the base unit of simulated time."""
+
+MS: float = 1_000.0
+"""One millisecond in simulator units."""
+
+SEC: float = 1_000_000.0
+"""One second in simulator units."""

@@ -1,0 +1,29 @@
+"""Passive memory nodes.
+
+A Sift memory node (§3.1) is a machine with minimal CPU that exports two
+RDMA regions:
+
+* the **administrative region** — a single 64-bit word packing
+  ``term_id (16b) | node_id (16b) | timestamp (32b)``, the target of
+  heartbeat CAS writes, heartbeat reads, and election CAS attempts;
+* the **replicated memory region** — a circular write-ahead log followed
+  by the replicated memory block, exported with at-most-one-connection
+  (exclusive) semantics so only the latest coordinator can touch it.
+
+This package provides the byte layouts and the
+:class:`~repro.storage.memory_node.MemoryNode` wiring; the *protocol*
+that drives these bytes lives in :mod:`repro.core`.
+"""
+
+from repro.storage.admin import AdminWord
+from repro.storage.memory_node import MemoryNode, MemoryNodeConfig
+from repro.storage.wal import WalCodec, WalEntry, WalLayout
+
+__all__ = [
+    "AdminWord",
+    "MemoryNode",
+    "MemoryNodeConfig",
+    "WalCodec",
+    "WalEntry",
+    "WalLayout",
+]

@@ -1,0 +1,53 @@
+"""The administrative word.
+
+The paper stores ``term_id`` and ``node_id`` as 16-bit fields and the
+heartbeat ``timestamp`` as 32 bits (§3.1); packing all three into one
+64-bit word lets a single RDMA CAS atomically bump a heartbeat or claim a
+term, which is exactly what makes the election protocol "resemble the
+locking of spinlocks" (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["AdminWord"]
+
+_TERM_BITS = 16
+_NODE_BITS = 16
+_TS_BITS = 32
+
+TERM_MAX = (1 << _TERM_BITS) - 1
+NODE_MAX = (1 << _NODE_BITS) - 1
+TS_MAX = (1 << _TS_BITS) - 1
+
+
+class AdminWord(NamedTuple):
+    """Decoded administrative word: who leads which term, and their clock."""
+
+    term_id: int
+    node_id: int
+    timestamp: int
+
+    def pack(self) -> int:
+        """Encode into the 64-bit wire word."""
+        if not 0 <= self.term_id <= TERM_MAX:
+            raise ValueError(f"term_id {self.term_id} out of 16-bit range")
+        if not 0 <= self.node_id <= NODE_MAX:
+            raise ValueError(f"node_id {self.node_id} out of 16-bit range")
+        if not 0 <= self.timestamp <= TS_MAX:
+            raise ValueError(f"timestamp {self.timestamp} out of 32-bit range")
+        return (self.term_id << (_NODE_BITS + _TS_BITS)) | (self.node_id << _TS_BITS) | self.timestamp
+
+    @classmethod
+    def unpack(cls, word: int) -> "AdminWord":
+        """Decode a 64-bit wire word."""
+        return cls(
+            term_id=(word >> (_NODE_BITS + _TS_BITS)) & TERM_MAX,
+            node_id=(word >> _TS_BITS) & NODE_MAX,
+            timestamp=word & TS_MAX,
+        )
+
+    def with_timestamp(self, timestamp: int) -> "AdminWord":
+        """Same leadership claim, renewed lease clock (wraps at 32 bits)."""
+        return AdminWord(self.term_id, self.node_id, timestamp & TS_MAX)

@@ -1,0 +1,126 @@
+"""The passive memory node.
+
+Provisioned with minimal CPU (one core in Table 2), a memory node only
+participates actively in connection setup; every protocol interaction
+afterwards is a one-sided verb against its two exported regions.
+
+Region map::
+
+    admin   (64 B, shared)      offset 0: the 64-bit admin word
+    repmem  (exclusive)         [ WAL slots | replicated memory block ]
+
+By default the regions are volatile: a crash + restart comes back zeroed
+with a new incarnation, and the coordinator must run memory-node recovery
+(§3.4.2) to re-populate it.  A *persistent* node (modelling the NVMe /
+persistent-memory deployments of §3.5) retains its bytes across restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.fabric import Fabric
+from repro.net.host import Host
+from repro.rdma.listener import RdmaListener
+from repro.rdma.memory import MemoryRegion
+from repro.rdma.nic import Rnic
+from repro.storage.wal import WalLayout
+
+__all__ = ["MemoryNode", "MemoryNodeConfig"]
+
+ADMIN_REGION = "admin"
+REPMEM_REGION = "repmem"
+META_REGION = "meta"
+ADMIN_WORD_OFFSET = 0
+STATUS_OFFSET = 0
+
+STATUS_UNINITIALISED = 0
+"""Fresh DRAM: the node holds no usable state and must not be trusted."""
+
+STATUS_INITIALISED = 1
+"""The coordinator finished populating this node (bootstrap or recovery)."""
+
+
+@dataclass(frozen=True)
+class MemoryNodeConfig:
+    """Geometry of a memory node's replicated region."""
+
+    wal_entries: int = 32 * 1024  # paper §6.2: "a write-ahead log that holds 32k entries"
+    wal_payload_bytes: int = 1_088  # fits a 1 KiB KV block write plus headers
+    data_bytes: int = 4 * 1024 * 1024
+    persistent: bool = False
+
+    @property
+    def wal_layout(self) -> WalLayout:
+        """Layout of the WAL at the head of the replicated region."""
+        return WalLayout(self.wal_entries, self.wal_payload_bytes)
+
+    @property
+    def data_offset(self) -> int:
+        """Offset of the replicated memory block within the region."""
+        return self.wal_layout.total_bytes
+
+    @property
+    def region_bytes(self) -> int:
+        """Total size of the replicated region."""
+        return self.data_offset + self.data_bytes
+
+
+class MemoryNode:
+    """A memory node: host + NIC + listener + the two exported regions."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        name: str,
+        node_index: int,
+        config: MemoryNodeConfig = MemoryNodeConfig(),
+        cores: int = 1,
+    ):
+        self.fabric = fabric
+        self.name = name
+        self.node_index = node_index
+        self.config = config
+        self.host: Host = fabric.add_host(name, cores=cores)
+        self.nic = Rnic(self.host, fabric)
+        self.listener = RdmaListener(self.host)
+        self.admin_region = MemoryRegion(ADMIN_REGION, 64)
+        self.repmem_region = MemoryRegion(REPMEM_REGION, config.region_bytes)
+        self.meta_region = MemoryRegion(META_REGION, 64)
+        self._export()
+        self.host.services["memory-node"] = self
+
+    def _export(self) -> None:
+        self.listener.export(self.admin_region, exclusive=False)
+        self.listener.export(self.repmem_region, exclusive=True)
+        self.listener.export(self.meta_region, exclusive=True)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop the node."""
+        self.host.crash()
+
+    def restart(self) -> None:
+        """Bring the node back; volatile nodes lose their region contents."""
+        self.host.restart()
+        if not self.config.persistent:
+            self.admin_region = MemoryRegion(ADMIN_REGION, 64)
+            self.repmem_region = MemoryRegion(REPMEM_REGION, self.config.region_bytes)
+            self.meta_region = MemoryRegion(META_REGION, 64)
+        self.listener.clear()
+        self._export()
+
+    # -- host lifecycle hooks (dispatched by Host.crash/restart) -----------------
+
+    def on_host_crash(self) -> None:
+        """Nothing extra: the listener hook already drops QP holderships."""
+
+    @property
+    def alive(self) -> bool:
+        """Whether the node is currently up."""
+        return self.host.alive
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<MemoryNode {self.name} {state}>"

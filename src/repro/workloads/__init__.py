@@ -1,0 +1,24 @@
+"""Workload generation (§6.2).
+
+Four workload mixes — write-only, mixed (50/50), read-heavy (90/10) and
+read-only — over a Zipfian (theta = 0.99) or uniform key popularity
+distribution, driven by pools of closed-loop clients.
+"""
+
+from repro.workloads.clients import ClientPool
+from repro.workloads.generator import (
+    WORKLOADS,
+    KeySampler,
+    UniformSampler,
+    WorkloadMix,
+    ZipfSampler,
+)
+
+__all__ = [
+    "ClientPool",
+    "KeySampler",
+    "UniformSampler",
+    "WORKLOADS",
+    "WorkloadMix",
+    "ZipfSampler",
+]

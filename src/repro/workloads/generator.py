@@ -1,0 +1,79 @@
+"""Key samplers and operation mixes.
+
+The evaluation "utilize[s] a Zipfian distribution with a parameter of
+0.99 to generate a skewed workload unless otherwise noted" (§6.2); the
+four mixes are defined in the same section.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = ["WorkloadMix", "WORKLOADS", "KeySampler", "ZipfSampler", "UniformSampler"]
+
+
+class WorkloadMix(NamedTuple):
+    """An operation mix: what fraction of operations are writes."""
+
+    name: str
+    write_fraction: float
+
+
+WORKLOADS = {
+    "write-only": WorkloadMix("write-only", 1.0),
+    "mixed": WorkloadMix("mixed", 0.5),  # "50% reads and writes"
+    "read-heavy": WorkloadMix("read-heavy", 0.1),  # "90% reads and 10% writes"
+    "read-only": WorkloadMix("read-only", 0.0),
+}
+
+
+class KeySampler:
+    """Base class: draws key indices in ``[0, n_keys)``."""
+
+    def __init__(self, n_keys: int):
+        if n_keys < 1:
+            raise ValueError(f"need at least one key, got {n_keys}")
+        self.n_keys = n_keys
+
+    def sample(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+    def key(self, index: int) -> bytes:
+        """Render a key index as the wire key."""
+        return b"key%024d" % index  # 27 bytes, within the 32-byte limit
+
+
+class UniformSampler(KeySampler):
+    """Every key equally popular."""
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randrange(self.n_keys)
+
+
+class ZipfSampler(KeySampler):
+    """Zipfian popularity with parameter theta (0.99 in the paper).
+
+    Sampling inverts the precomputed CDF with a binary search; rank *r*
+    (0-based) has weight ``1 / (r + 1)^theta``.  Ranks map directly to
+    key indices, so key 0 is the hottest — experiments that care about
+    *where* hot keys live in memory (Fig. 11) rely on this.
+    """
+
+    def __init__(self, n_keys: int, theta: float = 0.99):
+        super().__init__(n_keys)
+        self.theta = theta
+        weights = 1.0 / np.power(np.arange(1, n_keys + 1, dtype=np.float64), theta)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample(self, rng: random.Random) -> int:
+        return int(np.searchsorted(self._cdf, rng.random(), side="right"))
+
+    def hot_fraction(self, top: int) -> float:
+        """Probability mass of the *top* most popular keys."""
+        if top <= 0:
+            return 0.0
+        return float(self._cdf[min(top, self.n_keys) - 1])

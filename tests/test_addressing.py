@@ -1,0 +1,148 @@
+"""Unit tests for logical-address translation (plain and EC zones)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addressing import AddressMap
+from repro.core.config import SiftConfig
+from repro.core.errors import InvalidAccess
+
+
+def make_map(erasure_coding=False, direct_bytes=0, block_bytes=1024, data_bytes=64 * 1024):
+    config = SiftConfig(
+        fm=1,
+        fc=1,
+        erasure_coding=erasure_coding,
+        direct_bytes=direct_bytes,
+        block_bytes=block_bytes,
+        data_bytes=data_bytes,
+        wal_entries=16,
+        wal_payload_bytes=block_bytes + 64,
+    )
+    return AddressMap(config, data_offset=1000), config
+
+
+class TestValidation:
+    def test_range_inside_ok(self):
+        amap, _config = make_map()
+        amap.check_range(0, 64 * 1024)
+
+    def test_range_outside_rejected(self):
+        amap, _config = make_map()
+        with pytest.raises(InvalidAccess):
+            amap.check_range(64 * 1024 - 10, 11)
+        with pytest.raises(InvalidAccess):
+            amap.check_range(-1, 4)
+
+    def test_straddling_zone_boundary_rejected(self):
+        amap, _config = make_map(erasure_coding=True, direct_bytes=4096)
+        with pytest.raises(InvalidAccess):
+            amap.is_encoded(4090, 100)
+
+    def test_direct_window_detection(self):
+        amap, _config = make_map(erasure_coding=True, direct_bytes=4096)
+        assert amap.in_direct_window(0, 4096)
+        assert not amap.in_direct_window(4000, 200)
+        assert not amap.is_encoded(100, 100)
+        assert amap.is_encoded(8192, 100)
+
+    def test_nothing_encoded_without_ec(self):
+        amap, _config = make_map(erasure_coding=False)
+        assert not amap.is_encoded(8192, 100)
+
+
+class TestBlocks:
+    def test_blocks_of_single(self):
+        amap, _config = make_map()
+        assert amap.blocks_of(0, 100) == [0]
+        assert amap.blocks_of(1024, 1024) == [1]
+
+    def test_blocks_of_spanning(self):
+        amap, _config = make_map()
+        assert amap.blocks_of(1000, 100) == [0, 1]
+        assert amap.blocks_of(0, 3 * 1024) == [0, 1, 2]
+
+    def test_blocks_of_zero_length(self):
+        amap, _config = make_map()
+        assert amap.blocks_of(2048, 0) == [2]
+
+    def test_block_bounds(self):
+        amap, _config = make_map()
+        assert amap.block_bounds(3) == (3 * 1024, 4 * 1024)
+
+    def test_block_bounds_clipped_at_end(self):
+        amap, _config = make_map(data_bytes=2500)
+        assert amap.block_bounds(2) == (2048, 2500)
+
+
+class TestExtents:
+    def test_raw_extent_is_identity_plus_offset(self):
+        amap, _config = make_map()
+        assert amap.raw_extent(0) == 1000
+        assert amap.raw_extent(500) == 1500
+
+    def test_chunk_extent_geometry(self):
+        amap, config = make_map(erasure_coding=True, direct_bytes=4096)
+        # First encoded block (block index 4) sits right after the direct
+        # window on each node.
+        assert amap.chunk_extent(4) == 1000 + 4096
+        assert amap.chunk_extent(5) == 1000 + 4096 + config.chunk_bytes
+
+    def test_chunk_extent_rejects_direct_blocks(self):
+        amap, _config = make_map(erasure_coding=True, direct_bytes=4096)
+        with pytest.raises(InvalidAccess):
+            amap.chunk_extent(1)
+
+
+class TestSplitByBlock:
+    def test_within_one_block(self):
+        amap, _config = make_map()
+        assert amap.split_by_block(10, b"abc") == [(10, b"abc")]
+
+    def test_across_blocks(self):
+        amap, _config = make_map()
+        pieces = amap.split_by_block(1020, b"x" * 10)
+        assert pieces == [(1020, b"x" * 4), (1024, b"x" * 6)]
+
+    def test_exact_block(self):
+        amap, _config = make_map()
+        pieces = amap.split_by_block(1024, b"y" * 1024)
+        assert pieces == [(1024, b"y" * 1024)]
+
+    def test_empty_write(self):
+        amap, _config = make_map()
+        assert amap.split_by_block(5, b"") == [(5, b"")]
+
+    @given(addr=st.integers(0, 60 * 1024), size=st.integers(0, 4 * 1024))
+    @settings(max_examples=100)
+    def test_split_reassembles(self, addr, size):
+        amap, _config = make_map()
+        if addr + size > 64 * 1024:
+            return
+        data = bytes(i % 251 for i in range(size))
+        pieces = amap.split_by_block(addr, data)
+        # Pieces are contiguous, in order, and reassemble exactly.
+        position = addr
+        reassembled = b""
+        for piece_addr, piece in pieces:
+            assert piece_addr == position
+            position += len(piece)
+            reassembled += piece
+            # No piece crosses a block boundary.
+            if piece:
+                first = amap.block_index(piece_addr)
+                last = amap.block_index(piece_addr + len(piece) - 1)
+                assert first == last
+        assert reassembled == data
+
+
+class TestNodeFootprint:
+    def test_ec_reduces_node_bytes(self):
+        _amap, plain = make_map(erasure_coding=False, data_bytes=64 * 1024)
+        _amap2, coded = make_map(erasure_coding=True, direct_bytes=4096, data_bytes=64 * 1024)
+        assert coded.node_data_bytes < plain.node_data_bytes
+        # Encoded zone shrinks by ~(fm+1); direct window stays replicated.
+        encoded_logical = coded.encoded_bytes
+        encoded_stored = coded.encoded_blocks * coded.chunk_bytes
+        assert encoded_stored <= encoded_logical // 2 + coded.block_bytes

@@ -1,0 +1,129 @@
+"""Tests for the live shared backup pool (§5.2)."""
+
+import pytest
+
+from repro.core import BackupPool, SiftGroup
+from repro.kv import KvClient, KvConfig, kv_app_factory
+from repro.net import Fabric
+from repro.sim import MS, SEC, Simulator
+
+
+def make_fleet(n_groups=2, pool_size=1, fc=0, provisioning_delay_us=2 * SEC):
+    sim = Simulator()
+    fabric = Fabric(sim)
+    kv_config = KvConfig(max_keys=128, wal_entries=64)
+    groups = []
+    for index in range(n_groups):
+        group = SiftGroup(
+            fabric,
+            kv_config.sift_config(fm=1, fc=fc, wal_entries=64),
+            name=f"g{index}",
+            app_factory=kv_app_factory(kv_config),
+        )
+        group.start()
+        groups.append(group)
+    pool = BackupPool(
+        fabric, groups, size=pool_size, provisioning_delay_us=provisioning_delay_us
+    )
+    pool.start()
+    return sim, fabric, groups, pool
+
+
+def run(sim, gen, until=120 * SEC):
+    process = sim.spawn(gen)
+    sim.run_until_settled(process, deadline=until)
+    assert process.settled
+    if process.failed:
+        raise process.exception
+    return process.value
+
+
+class TestPromotion:
+    def test_backup_takes_over_dead_group(self):
+        sim, fabric, groups, pool = make_fleet()
+        client = KvClient(fabric.add_host("client", cores=2), fabric, groups[0])
+
+        def scenario():
+            yield from groups[0].wait_until_serving(timeout_us=3 * SEC)
+            yield from client.put(b"k", b"v")
+            groups[0].cpu_nodes[0].crash()
+            value = yield from client.get(b"k")  # served by the promoted backup
+            return value, pool.promotions
+
+        value, promotions = run(sim, scenario())
+        assert value == b"v"
+        assert promotions == 1
+
+    def test_groups_with_own_cpu_nodes_not_promoted(self):
+        """The pool only steps in when a group has no CPU node left."""
+        sim, fabric, groups, pool = make_fleet(fc=1)  # 2 CPU nodes per group
+        client = KvClient(fabric.add_host("client", cores=2), fabric, groups[0])
+
+        def scenario():
+            yield from groups[0].wait_until_serving(timeout_us=3 * SEC)
+            groups[0].crash_coordinator()
+            value_source = yield from groups[0].wait_until_serving(timeout_us=3 * SEC)
+            yield sim.timeout(200 * MS)
+            return pool.promotions
+
+        assert run(sim, scenario()) == 0
+
+    def test_pool_replenishes_after_promotion(self):
+        sim, fabric, groups, pool = make_fleet(pool_size=1, provisioning_delay_us=1 * SEC)
+
+        def scenario():
+            yield from groups[0].wait_until_serving(timeout_us=3 * SEC)
+            groups[0].cpu_nodes[0].crash()
+            deadline = sim.now + 30 * SEC
+            while pool.promotions == 0 and sim.now < deadline:
+                yield sim.timeout(20 * MS)
+            assert pool.idle_backups == 0
+            yield sim.timeout(1.5 * SEC)  # provisioning delay elapses
+            return pool.idle_backups
+
+        assert run(sim, scenario()) == 1
+
+    def test_two_failures_one_backup_queue(self):
+        """The second failed group waits for a provisioned VM (Fig 8's
+        'additional recovery time')."""
+        sim, fabric, groups, pool = make_fleet(
+            n_groups=2, pool_size=1, provisioning_delay_us=2 * SEC
+        )
+        clients = [
+            KvClient(fabric.add_host(f"c{i}", cores=2), fabric, groups[i])
+            for i in range(2)
+        ]
+
+        def scenario():
+            for index in range(2):
+                yield from groups[index].wait_until_serving(timeout_us=3 * SEC)
+                yield from clients[index].put(b"k", b"g%d" % index)
+            groups[0].cpu_nodes[0].crash()
+            groups[1].cpu_nodes[0].crash()
+            a = yield from clients[0].get(b"k")
+            b = yield from clients[1].get(b"k")
+            return {a, b}, pool.promotions
+
+        values, promotions = run(sim, scenario(), until=240 * SEC)
+        assert values == {b"g0", b"g1"}
+        assert promotions == 2
+
+    def test_promoted_backup_serves_correct_group_data(self):
+        sim, fabric, groups, pool = make_fleet(n_groups=3, pool_size=2)
+        clients = [
+            KvClient(fabric.add_host(f"c{i}", cores=2), fabric, groups[i])
+            for i in range(3)
+        ]
+
+        def scenario():
+            for index in range(3):
+                yield from groups[index].wait_until_serving(timeout_us=3 * SEC)
+                yield from clients[index].put(b"who", b"group-%d" % index)
+            groups[1].cpu_nodes[0].crash()
+            value = yield from clients[1].get(b"who")
+            other = yield from clients[2].get(b"who")
+            return value, other
+
+        value, other = run(sim, scenario())
+        assert value == b"group-1"
+        assert other == b"group-2"

@@ -1,0 +1,142 @@
+"""Tests for the benchmark harness itself (small scales)."""
+
+import pytest
+
+from repro.bench import (
+    BenchScale,
+    epaxos_spec,
+    raft_spec,
+    run_latency,
+    run_throughput,
+    run_timeline,
+    sift_spec,
+)
+from repro.bench.metrics import percentile
+from repro.bench.report import bar_table, kv_table, series_table, sparkline
+from repro.sim.units import MS, SEC
+from repro.workloads import WORKLOADS
+
+TINY = BenchScale(
+    keys=512,
+    warmup_us=10 * MS,
+    measure_us=30 * MS,
+    clients=6,
+    wal_entries=512,
+    kv_wal_entries=512,
+)
+
+
+class TestPercentile:
+    def test_simple(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+        assert percentile([5.0], 99) == 5.0
+        assert percentile([1.0, 2.0], 0) == 1.0
+        assert percentile([1.0, 2.0], 100) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestReport:
+    def test_bar_table_renders(self):
+        text = bar_table("T", ["a", "b"], {"sys": [1000.0, 2000.0]})
+        assert "T" in text and "sys" in text and "1,000" in text
+
+    def test_series_table_renders(self):
+        text = series_table("T", "x", "y", {"s": [(1, 2.0)]})
+        assert "[s]" in text
+
+    def test_kv_table_renders(self):
+        assert "k  v" in kv_table("T", [("k", "v")])
+
+    def test_sparkline(self):
+        line = sparkline([0, 1, 2, 4])
+        assert len(line) == 4
+        assert sparkline([]) == ""
+
+
+class TestRunners:
+    @pytest.mark.parametrize(
+        "spec_factory",
+        [
+            lambda: sift_spec(scale=TINY),
+            lambda: raft_spec(scale=TINY),
+            lambda: epaxos_spec(scale=TINY),
+        ],
+        ids=["sift", "raft", "epaxos"],
+    )
+    def test_throughput_runs_and_is_positive(self, spec_factory):
+        result = run_throughput(spec_factory(), WORKLOADS["read-heavy"], scale=TINY)
+        assert result.ops_per_sec > 0
+        assert result.errors == 0
+
+    def test_throughput_deterministic(self):
+        spec = sift_spec(scale=TINY)
+        a = run_throughput(spec, WORKLOADS["mixed"], scale=TINY, seed=3)
+        b = run_throughput(sift_spec(scale=TINY), WORKLOADS["mixed"], scale=TINY, seed=3)
+        assert a.ops_per_sec == b.ops_per_sec
+        assert a.completed == b.completed
+
+    def test_latency_percentiles_present(self):
+        result = run_latency(sift_spec(scale=TINY), WORKLOADS["mixed"], 2, scale=TINY)
+        assert result.read_p50 is not None and result.read_p50 > 0
+        assert result.write_p50 is not None
+        assert result.read_p95 >= result.read_p50
+
+    def test_read_only_has_no_write_latencies(self):
+        result = run_latency(sift_spec(scale=TINY), WORKLOADS["read-only"], 2, scale=TINY)
+        assert result.write_p50 is None
+
+    def test_sift_preload_is_readable_through_the_client(self):
+        """The synchronous preloader must be indistinguishable from puts."""
+        from repro.kv.client import KvClient
+        from repro.net.fabric import Fabric
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RngStreams
+        from repro.workloads.generator import KeySampler
+
+        for ec in (False, True):
+            spec = sift_spec(erasure_coding=ec, scale=TINY)
+            sim = Simulator()
+            fabric = Fabric(sim, rng=RngStreams(seed=2))
+            group = spec.build(fabric)
+            ready = sim.spawn(spec.wait_ready(group), name="ready")
+            sim.run_until_settled(ready, deadline=5 * SEC)
+            assert ready.ok
+            sampler = KeySampler(TINY.keys)
+            spec.preload(group, ((sampler.key(i), b"pre-%d" % i) for i in range(64)))
+            client = KvClient(fabric.add_host("c", cores=2), fabric, group)
+
+            def check():
+                for i in (0, 13, 63):
+                    value = yield from client.get(sampler.key(i))
+                    assert value == b"pre-%d" % i, (ec, i, value)
+                # Preloaded keys are updatable and the update wins.
+                yield from client.put(sampler.key(13), b"updated")
+                return (yield from client.get(sampler.key(13)))
+
+            process = sim.spawn(check())
+            sim.run_until_settled(process, deadline=20 * SEC)
+            assert process.ok, process.exception
+            assert process.value == b"updated"
+
+    def test_timeline_records_event_and_series(self):
+        fired = []
+
+        def fault(group):
+            fired.append(True)
+            group.crash_memory_node(2)
+
+        result = run_timeline(
+            sift_spec(scale=TINY),
+            WORKLOADS["read-heavy"],
+            4,
+            duration_us=0.5 * SEC,
+            events=[(0.2 * SEC, "kill", fault)],
+            scale=TINY,
+        )
+        assert fired == [True]
+        assert result.events[0][1] == "kill"
+        assert len(result.series) >= 4
+        assert sum(ops for _t, ops in result.series) > 0

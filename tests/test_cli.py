@@ -1,0 +1,36 @@
+"""Tests for the experiment CLI (cheap commands only)."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Sift" in out and "Disk Paxos" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "10 cores" in out and "22 GB" in out
+
+    def test_fig9_and_fig10(self, capsys):
+        assert main(["fig9", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "F=1" in out and "F=2" in out
+        assert "-35" in out and "-56" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_throughput_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_KEYS", "512")
+        monkeypatch.setenv("REPRO_BENCH_MEASURE_MS", "20")
+        monkeypatch.setenv("REPRO_BENCH_WARMUP_MS", "10")
+        monkeypatch.setenv("REPRO_BENCH_CLIENTS", "4")
+        assert main(["throughput", "--system", "raft-r"]) == 0
+        out = capsys.readouterr().out
+        assert "ops/s" in out

@@ -1,0 +1,105 @@
+"""Focused CPU-node behaviours not covered by the election scenarios."""
+
+import pytest
+
+from repro.core import Role, SiftConfig, SiftGroup
+from repro.net import Fabric
+from repro.sim import MS, SEC, Simulator
+from repro.storage.admin import AdminWord
+from repro.storage.memory_node import ADMIN_WORD_OFFSET
+
+
+def make_group(**overrides):
+    sim = Simulator()
+    fabric = Fabric(sim)
+    defaults = dict(fm=1, fc=1, data_bytes=64 * 1024, wal_entries=64)
+    defaults.update(overrides)
+    group = SiftGroup(fabric, SiftConfig(**defaults), name="cn")
+    group.start()
+    return sim, fabric, group
+
+
+class TestHeartbeats:
+    def test_admin_words_carry_coordinator_identity(self):
+        sim, _fabric, group = make_group()
+        sim.run(until=300 * MS)
+        coordinator = group.coordinator()
+        words = [
+            AdminWord.unpack(node.admin_region.read_word(ADMIN_WORD_OFFSET))
+            for node in group.memory_nodes
+        ]
+        assert all(word.term_id == coordinator.term for word in words)
+        assert all(word.node_id == coordinator.node_id for word in words)
+
+    def test_timestamps_advance(self):
+        sim, _fabric, group = make_group()
+        sim.run(until=300 * MS)
+        node = group.memory_nodes[0]
+        first = AdminWord.unpack(node.admin_region.read_word(ADMIN_WORD_OFFSET))
+        sim.run(until=sim.now + 50 * MS)
+        second = AdminWord.unpack(node.admin_region.read_word(ADMIN_WORD_OFFSET))
+        assert second.timestamp != first.timestamp
+
+    def test_lagging_admin_word_reclaimed(self):
+        """A memory node that restarts (zeroed admin word) is re-claimed by
+        the running coordinator's heartbeat CAS within a few rounds."""
+        sim, _fabric, group = make_group()
+        sim.run(until=300 * MS)
+        coordinator = group.coordinator()
+        group.crash_memory_node(2)
+        sim.run(until=sim.now + 100 * MS)
+        group.restart_memory_node(2)
+        sim.run(until=sim.now + 300 * MS)
+        word = AdminWord.unpack(
+            group.memory_nodes[2].admin_region.read_word(ADMIN_WORD_OFFSET)
+        )
+        assert word.term_id == coordinator.term
+        assert word.node_id == coordinator.node_id
+
+
+class TestLifecycle:
+    def test_deposed_coordinator_tears_down_repmem(self):
+        sim, fabric, group = make_group()
+        sim.run(until=300 * MS)
+        first = group.coordinator()
+        repmem = first.repmem
+        fabric.isolate(first.host.name)
+        sim.run(until=sim.now + 1 * SEC)
+        assert first.role is not Role.COORDINATOR
+        assert first.repmem is None
+        assert not repmem.running
+
+    def test_crash_clears_soft_state(self):
+        sim, _fabric, group = make_group()
+        sim.run(until=300 * MS)
+        coordinator = group.coordinator()
+        coordinator.crash()
+        assert coordinator.repmem is None
+        assert coordinator.app is None
+        assert not coordinator.serving
+
+    def test_restart_resets_term(self):
+        sim, _fabric, group = make_group()
+        sim.run(until=300 * MS)
+        coordinator = group.coordinator()
+        coordinator.crash()
+        coordinator.restart()
+        assert coordinator.term == 0  # soft state only (§3.1)
+        sim.run(until=sim.now + 1 * SEC)
+        assert group.coordinator() is not None
+
+    def test_node_id_zero_rejected(self):
+        from repro.core.cpu_node import CpuNode
+
+        sim = Simulator()
+        fabric = Fabric(sim)
+        with pytest.raises(ValueError):
+            CpuNode(fabric, "bad", node_id=0, config=SiftConfig(), memory_nodes=[])
+
+    def test_stats_expose_stepdowns(self):
+        sim, fabric, group = make_group()
+        sim.run(until=300 * MS)
+        first = group.coordinator()
+        fabric.isolate(first.host.name)
+        sim.run(until=sim.now + 1 * SEC)
+        assert first.stats["stepdowns"] >= 1

@@ -1,0 +1,119 @@
+"""Tests for the Disk Paxos reference implementation."""
+
+import pytest
+
+from repro.baselines.diskpaxos import DiskPaxosInstance
+from repro.net import Fabric
+from repro.sim import SEC, Simulator
+
+
+def make_instance(disks=3, proposers=2):
+    sim = Simulator()
+    fabric = Fabric(sim)
+    instance = DiskPaxosInstance(fabric, disks=disks, proposers=proposers)
+    return sim, fabric, instance
+
+
+def run_all(sim, processes, until=30 * SEC):
+    for process in processes:
+        sim.run_until_settled(process, deadline=until)
+    results = []
+    for process in processes:
+        assert process.settled
+        if process.failed:
+            raise process.exception
+        results.append(process.value)
+    return results
+
+
+class TestSingleDecree:
+    def test_single_proposer_chooses_its_value(self):
+        sim, _fabric, instance = make_instance()
+        proposer = instance.proposers[0]
+
+        def scenario():
+            yield from proposer.connect()
+            return (yield from proposer.propose(b"value-A"))
+
+        process = sim.spawn(scenario())
+        results = run_all(sim, [process])
+        assert results == [b"value-A"]
+
+    def test_two_proposers_agree(self):
+        """Agreement: both proposers decide the same value."""
+        sim, _fabric, instance = make_instance()
+
+        def scenario(proposer, value):
+            yield from proposer.connect()
+            return (yield from proposer.propose(value))
+
+        processes = [
+            sim.spawn(scenario(instance.proposers[0], b"from-p0")),
+            sim.spawn(scenario(instance.proposers[1], b"from-p1")),
+        ]
+        results = run_all(sim, processes)
+        assert results[0] == results[1]
+        assert results[0] in (b"from-p0", b"from-p1")
+
+    def test_agreement_under_contention_many_rounds(self):
+        sim, _fabric, instance = make_instance(proposers=2)
+        outcomes = []
+
+        def scenario(proposer, value):
+            yield from proposer.connect()
+            chosen = yield from proposer.propose(value)
+            outcomes.append(chosen)
+            return chosen
+
+        processes = [
+            sim.spawn(scenario(p, b"v-%d" % i))
+            for i, p in enumerate(instance.proposers)
+        ]
+        run_all(sim, processes, until=60 * SEC)
+        assert len(set(outcomes)) == 1
+
+    def test_tolerates_one_disk_failure(self):
+        sim, _fabric, instance = make_instance(disks=3)
+        instance.disks[1].crash()
+        proposer = instance.proposers[0]
+
+        def scenario():
+            yield from proposer.connect()
+            return (yield from proposer.propose(b"survives"))
+
+        process = sim.spawn(scenario())
+        assert run_all(sim, [process]) == [b"survives"]
+
+    def test_majority_of_disks_required(self):
+        sim, _fabric, instance = make_instance(disks=3)
+        instance.disks[0].crash()
+        instance.disks[1].crash()
+        proposer = instance.proposers[0]
+
+        def scenario():
+            try:
+                yield from proposer.connect()
+            except Exception:
+                return "unavailable"
+            return "connected"
+
+        process = sim.spawn(scenario())
+        assert run_all(sim, [process]) == ["unavailable"]
+
+    def test_later_proposer_learns_chosen_value(self):
+        """A proposer arriving after a decision must adopt it, not its own."""
+        sim, _fabric, instance = make_instance(proposers=2)
+        first, second = instance.proposers
+
+        def early():
+            yield from first.connect()
+            return (yield from first.propose(b"decided-early"))
+
+        def late():
+            yield sim.timeout(50_000)
+            yield from second.connect()
+            return (yield from second.propose(b"too-late"))
+
+        processes = [sim.spawn(early()), sim.spawn(late())]
+        results = run_all(sim, processes)
+        assert results == [b"decided-early", b"decided-early"]

@@ -1,0 +1,184 @@
+"""Tests for the EPaxos baseline (§6.3)."""
+
+import pytest
+
+from repro.baselines.epaxos import EPaxosCluster, EPaxosConfig
+from repro.kv.client import KvClient
+from repro.net import Fabric
+from repro.sim import MS, SEC, Simulator
+
+
+def make_cluster(f=1, **overrides):
+    sim = Simulator()
+    fabric = Fabric(sim)
+    cluster = EPaxosCluster(fabric, EPaxosConfig(f=f, **overrides))
+    cluster.start()
+    return sim, fabric, cluster
+
+
+def client_for(fabric, cluster, name="client", preferred=None):
+    client = KvClient(fabric.add_host(name, cores=4), fabric, cluster)
+    if preferred is not None:
+        client._preferred = preferred
+    return client
+
+
+def run(sim, gen, until=30 * SEC):
+    process = sim.spawn(gen)
+    sim.run_until_settled(process, deadline=until)
+    assert process.settled, "scenario did not finish"
+    if process.failed:
+        raise process.exception
+    return process.value
+
+
+class TestDataPath:
+    def test_put_get_via_one_replica(self):
+        sim, fabric, cluster = make_cluster()
+        client = client_for(fabric, cluster)
+
+        def scenario():
+            yield from client.put(b"k", b"v")
+            return (yield from client.get(b"k"))
+
+        assert run(sim, scenario()) == b"v"
+
+    def test_every_replica_serves(self):
+        """Leaderless: all replicas handle client requests (§2.1)."""
+        sim, fabric, cluster = make_cluster()
+        clients = [
+            client_for(fabric, cluster, f"c{i}", preferred=i) for i in range(3)
+        ]
+
+        def scenario():
+            for index, client in enumerate(clients):
+                yield from client.put(b"key-%d" % index, b"from-%d" % index)
+            yield sim.timeout(5 * MS)  # commit announcements propagate
+            values = []
+            for index in range(3):
+                values.append((yield from clients[(index + 1) % 3].get(b"key-%d" % index)))
+            return values
+
+        values = run(sim, scenario())
+        assert values == [b"from-0", b"from-1", b"from-2"]
+        assert all(replica.stats["ops"] > 0 for replica in cluster.replicas)
+
+    def test_cross_replica_visibility(self):
+        sim, fabric, cluster = make_cluster()
+        writer = client_for(fabric, cluster, "w", preferred=0)
+        reader = client_for(fabric, cluster, "r", preferred=2)
+
+        def scenario():
+            yield from writer.put(b"shared", b"value")
+            yield sim.timeout(5 * MS)
+            return (yield from reader.get(b"shared"))
+
+        assert run(sim, scenario()) == b"value"
+
+    def test_delete(self):
+        sim, fabric, cluster = make_cluster()
+        client = client_for(fabric, cluster)
+
+        def scenario():
+            yield from client.put(b"k", b"v")
+            yield from client.delete(b"k")
+            yield sim.timeout(5 * MS)
+            return (yield from client.get(b"k"))
+
+        assert run(sim, scenario()) is None
+
+    def test_reads_cost_a_network_round(self):
+        """§6.3.2: reads require network operations (no local fast path)."""
+        sim, fabric, cluster = make_cluster()
+        client = client_for(fabric, cluster)
+
+        def scenario():
+            yield from client.put(b"k", b"v")
+            start = sim.now
+            yield from client.get(b"k")
+            return sim.now - start
+
+        elapsed = run(sim, scenario())
+        # RPC (~50us) + batching window (~100us) + consensus round.
+        assert elapsed > 100.0
+
+
+class TestBatching:
+    def test_batch_window_flushes(self):
+        sim, fabric, cluster = make_cluster(batch_window_us=100.0, batch_max=100)
+        client = client_for(fabric, cluster)
+
+        def scenario():
+            yield from client.put(b"a", b"1")
+            return cluster.replicas[0].stats["batches"]
+
+        batches = run(sim, scenario())
+        assert batches == 1
+
+    def test_many_ops_share_batches(self):
+        sim, fabric, cluster = make_cluster()
+        clients = [client_for(fabric, cluster, f"c{i}", preferred=0) for i in range(10)]
+
+        def scenario():
+            procs = []
+            for index, client in enumerate(clients):
+                procs.append(
+                    fabric.host(f"c{index}").spawn(client.put(b"k%d" % index, b"v"))
+                )
+            for proc in procs:
+                yield proc
+            replica = cluster.replicas[0]
+            return replica.stats["ops"], replica.stats["batches"]
+
+        ops, batches = run(sim, scenario())
+        assert ops == 10
+        assert batches < ops  # batching amortised consensus rounds
+
+    def test_full_batch_flushes_early(self):
+        sim, fabric, cluster = make_cluster(batch_window_us=1_000_000.0, batch_max=4)
+        clients = [client_for(fabric, cluster, f"c{i}", preferred=0) for i in range(4)]
+
+        def scenario():
+            procs = [
+                fabric.host(f"c{i}").spawn(clients[i].put(b"k%d" % i, b"v"))
+                for i in range(4)
+            ]
+            for proc in procs:
+                yield proc
+            return sim.now
+
+        elapsed = run(sim, scenario())
+        assert elapsed < 10_000  # did not wait for the 1s window
+
+
+class TestConflicts:
+    def test_conflicting_keys_trigger_slow_path(self):
+        sim, fabric, cluster = make_cluster(batch_window_us=5.0)
+        a = client_for(fabric, cluster, "a", preferred=0)
+        b = client_for(fabric, cluster, "b", preferred=1)
+
+        def scenario():
+            procs = []
+            for round_number in range(20):
+                procs.append(fabric.host("a").spawn(a.put(b"hot", b"A%d" % round_number)))
+                procs.append(fabric.host("b").spawn(b.put(b"hot", b"B%d" % round_number)))
+                yield sim.timeout(30.0)
+            for proc in procs:
+                yield proc
+            return sum(replica.stats["slow_path"] for replica in cluster.replicas)
+
+        slow = run(sim, scenario())
+        assert slow > 0  # concurrent conflicting commands hit the slow path
+
+    def test_disjoint_keys_stay_on_fast_path(self):
+        sim, fabric, cluster = make_cluster()
+        a = client_for(fabric, cluster, "a", preferred=0)
+
+        def scenario():
+            for round_number in range(10):
+                yield from a.put(b"solo-%d" % round_number, b"v")
+            replica = cluster.replicas[0]
+            return replica.stats["fast_path"], replica.stats["slow_path"]
+
+        fast, slow = run(sim, scenario())
+        assert fast >= 10 and slow == 0

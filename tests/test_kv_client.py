@@ -1,0 +1,119 @@
+"""Tests for the KV client's retry/failover behaviour."""
+
+import pytest
+
+from repro.core import SiftGroup
+from repro.kv import KvClient, KvConfig, kv_app_factory
+from repro.kv.client import KvRequestFailed
+from repro.net import Fabric
+from repro.sim import MS, SEC, Simulator
+
+
+def make_stack():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    kv_config = KvConfig(max_keys=128, wal_entries=64)
+    group = SiftGroup(
+        fabric,
+        kv_config.sift_config(fm=1, fc=1, wal_entries=64),
+        name="c",
+        app_factory=kv_app_factory(kv_config),
+    )
+    group.start()
+    return sim, fabric, group
+
+
+def run(sim, gen, until=60 * SEC):
+    process = sim.spawn(gen)
+    sim.run_until_settled(process, deadline=until)
+    assert process.settled
+    if process.failed:
+        raise process.exception
+    return process.value
+
+
+class TestRouting:
+    def test_client_learns_the_coordinator(self):
+        sim, fabric, group = make_stack()
+        client = KvClient(fabric.add_host("client", cores=2), fabric, group)
+        client._preferred = 1  # deliberately point at the wrong node
+
+        def scenario():
+            yield from group.wait_until_serving(timeout_us=2 * SEC)
+            yield from client.put(b"k", b"v")
+            first_latency_requests = client.stats["requests"]
+            start = sim.now
+            yield from client.get(b"k")
+            return sim.now - start
+
+        second_latency = run(sim, scenario())
+        # Once learned, requests go straight to the coordinator: one RPC.
+        assert second_latency < 200.0
+
+    def test_client_retries_through_failover(self):
+        sim, fabric, group = make_stack()
+        client = KvClient(fabric.add_host("client", cores=2), fabric, group)
+
+        def scenario():
+            first = yield from group.wait_until_serving(timeout_us=2 * SEC)
+            yield from client.put(b"k", b"v")
+            before = client._preferred
+            group.crash_coordinator()
+            value = yield from client.get(b"k")
+            second = group.serving_coordinator()
+            return value, before, client._preferred, first is not second
+
+        value, before, after, changed = run(sim, scenario())
+        assert value == b"v"
+        assert changed  # a different CPU node answered
+        assert after != before  # and the client now prefers it
+
+    def test_request_fails_when_whole_group_down(self):
+        sim, fabric, group = make_stack()
+        client = KvClient(
+            fabric.add_host("client", cores=2), fabric, group,
+            max_rounds=10, retry_backoff_us=1 * MS,
+        )
+
+        def scenario():
+            yield from group.wait_until_serving(timeout_us=2 * SEC)
+            for cpu_node in group.cpu_nodes:
+                cpu_node.crash()
+            try:
+                yield from client.get(b"k")
+            except KvRequestFailed:
+                return "failed"
+            return "served"
+
+        assert run(sim, scenario()) == "failed"
+
+    def test_stats_track_requests(self):
+        sim, fabric, group = make_stack()
+        client = KvClient(fabric.add_host("client", cores=2), fabric, group)
+
+        def scenario():
+            yield from group.wait_until_serving(timeout_us=2 * SEC)
+            for _ in range(5):
+                yield from client.put(b"k", b"v")
+            return client.stats["requests"]
+
+        assert run(sim, scenario()) == 5
+
+    def test_concurrent_clients(self):
+        sim, fabric, group = make_stack()
+        clients = [
+            KvClient(fabric.add_host(f"c{i}", cores=2), fabric, group) for i in range(6)
+        ]
+
+        def worker(client, tag):
+            yield from group.wait_until_serving(timeout_us=2 * SEC)
+            yield from client.put(b"key-%d" % tag, b"val-%d" % tag)
+            return (yield from client.get(b"key-%d" % tag))
+
+        processes = [
+            sim.spawn(worker(client, tag)) for tag, client in enumerate(clients)
+        ]
+        for process in processes:
+            sim.run_until_settled(process, deadline=30 * SEC)
+        values = [process.value for process in processes]
+        assert values == [b"val-%d" % tag for tag in range(6)]

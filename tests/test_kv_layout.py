@@ -1,0 +1,164 @@
+"""Unit tests for KV layout geometry and codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.membership import RESERVED_BYTES
+from repro.kv.config import KvConfig
+from repro.kv.layout import (
+    BLOCK_HEADER_BYTES,
+    KV_WAL_OFFSET,
+    OP_DELETE,
+    OP_PUT,
+    BlockImage,
+    KvLayout,
+    WalRecord,
+)
+
+
+@pytest.fixture
+def config():
+    return KvConfig(max_keys=1024, wal_entries=256)
+
+
+@pytest.fixture
+def layout(config):
+    return KvLayout(config)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = KvConfig()
+        assert config.max_keys == 1_000_000
+        assert config.key_bytes == 32
+        assert config.value_bytes == 992
+        assert config.cache_entries == 500_000
+        assert config.wal_entries == 64 * 1024
+
+    def test_index_load_factor(self, config):
+        """Buckets chosen so load never exceeds 12.5% (§6.2)."""
+        assert config.max_keys / config.index_buckets <= 0.125
+        assert config.index_buckets & (config.index_buckets - 1) == 0  # power of 2
+
+    def test_block_size(self, config):
+        assert config.block_bytes == BLOCK_HEADER_BYTES + 32 + 992
+
+    def test_sift_config_direct_window_covers_wal(self, config):
+        sift = config.sift_config(fm=1, erasure_coding=True)
+        layout = KvLayout(config)
+        assert sift.direct_bytes == layout.direct_bytes
+        assert sift.direct_bytes >= layout.wal_offset + config.wal_entries * layout.wal_slot_bytes
+        assert sift.data_bytes == layout.data_bytes
+        sift.validate()
+
+
+class TestGeometry:
+    def test_regions_are_ordered_and_disjoint(self, layout):
+        assert KV_WAL_OFFSET >= RESERVED_BYTES
+        assert layout.index_offset == layout.direct_bytes
+        assert layout.bitmap_offset == layout.index_offset + layout.index_bytes
+        assert layout.blocks_offset == layout.bitmap_offset + layout.bitmap_bytes
+        assert layout.data_bytes == layout.blocks_offset + 1024 * layout.block_bytes
+
+    def test_structures_block_aligned(self, layout):
+        block = layout.block_bytes
+        assert layout.direct_bytes % block == 0
+        assert layout.index_bytes % block == 0
+        assert layout.bitmap_bytes % block == 0
+
+    def test_wal_slot_addresses_are_circular(self, layout, config):
+        assert layout.wal_slot_addr(1) == layout.wal_offset
+        assert layout.wal_slot_addr(1 + config.wal_entries) == layout.wal_offset
+
+    def test_wal_seq_starts_at_one(self, layout):
+        with pytest.raises(ValueError):
+            layout.wal_slot_addr(0)
+
+    def test_block_addr_roundtrip(self, layout):
+        for number in (0, 1, 500, 1023):
+            assert layout.block_number(layout.block_addr(number)) == number
+
+    def test_block_addr_range_checked(self, layout):
+        with pytest.raises(ValueError):
+            layout.block_addr(1024)
+        with pytest.raises(ValueError):
+            layout.block_number(layout.blocks_offset + 13)
+
+    def test_bucket_of_uniform_and_stable(self, layout, config):
+        buckets = [layout.bucket_of(b"key%d" % i) for i in range(1000)]
+        assert all(0 <= b < config.index_buckets for b in buckets)
+        assert buckets == [layout.bucket_of(b"key%d" % i) for i in range(1000)]
+
+
+class TestBlockCodec:
+    def test_roundtrip(self, layout):
+        image = BlockImage(next_ptr=12345, key=b"key", value=b"value")
+        raw = layout.encode_block(image)
+        assert len(raw) == layout.block_bytes
+        assert layout.decode_block(raw) == image
+
+    def test_max_sizes(self, layout, config):
+        image = BlockImage(0, b"k" * config.key_bytes, b"v" * config.value_bytes)
+        assert layout.decode_block(layout.encode_block(image)) == image
+
+    def test_oversize_rejected(self, layout, config):
+        with pytest.raises(ValueError):
+            layout.encode_block(BlockImage(0, b"k" * (config.key_bytes + 1), b""))
+        with pytest.raises(ValueError):
+            layout.encode_block(BlockImage(0, b"k", b"v" * (config.value_bytes + 1)))
+
+    def test_garbage_lengths_decode_none(self, layout):
+        raw = bytearray(layout.block_bytes)
+        raw[8:10] = (60_000).to_bytes(2, "little")  # absurd key_len
+        assert layout.decode_block(bytes(raw)) is None
+
+    def test_short_buffer_decodes_none(self, layout):
+        assert layout.decode_block(b"short") is None
+
+    @given(
+        next_ptr=st.integers(0, 2**62),
+        key=st.binary(min_size=1, max_size=32),
+        value=st.binary(max_size=992),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, next_ptr, key, value):
+        layout = KvLayout(KvConfig(max_keys=64, wal_entries=16))
+        image = BlockImage(next_ptr, key, value)
+        assert layout.decode_block(layout.encode_block(image)) == image
+
+
+class TestWalRecordCodec:
+    def test_put_roundtrip(self, layout):
+        record = WalRecord(9, OP_PUT, b"key", b"value", term=4)
+        assert layout.decode_wal_record(layout.encode_wal_record(record)) == record
+
+    def test_delete_roundtrip(self, layout):
+        record = WalRecord(10, OP_DELETE, b"key", b"", term=2)
+        assert layout.decode_wal_record(layout.encode_wal_record(record)) == record
+
+    def test_empty_slot_decodes_none(self, layout):
+        assert layout.decode_wal_record(bytes(layout.wal_slot_bytes)) is None
+
+    def test_corruption_detected(self, layout):
+        raw = bytearray(layout.encode_wal_record(WalRecord(3, OP_PUT, b"k", b"v", 1)))
+        raw[-1] ^= 0x40
+        assert layout.decode_wal_record(bytes(raw)) is None
+
+    def test_bad_opcode_decodes_none(self, layout):
+        raw = bytearray(layout.encode_wal_record(WalRecord(3, OP_PUT, b"k", b"v", 1)))
+        raw[12] = 99  # op byte
+        assert layout.decode_wal_record(bytes(raw)) is None
+
+    @given(
+        seq=st.integers(1, 2**62),
+        term=st.integers(0, 2**32 - 1),
+        op=st.sampled_from([OP_PUT, OP_DELETE]),
+        key=st.binary(min_size=1, max_size=32),
+        value=st.binary(max_size=992),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, seq, term, op, key, value):
+        layout = KvLayout(KvConfig(max_keys=64, wal_entries=16))
+        record = WalRecord(seq, op, key, value, term)
+        assert layout.decode_wal_record(layout.encode_wal_record(record)) == record

@@ -1,0 +1,100 @@
+"""Direct tests for the RDMA listener's export/attach semantics."""
+
+import pytest
+
+from repro.net import Fabric
+from repro.rdma import MemoryRegion, QueuePair, RdmaListener, RdmaProtectionError, Rnic
+from repro.rdma.qp import QpState
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    target = fabric.add_host("target", cores=1)
+    listener = RdmaListener(target)
+    region = MemoryRegion("r", 1024)
+    listener.export(region, exclusive=True)
+    shared = MemoryRegion("s", 1024)
+    listener.export(shared, exclusive=False)
+    return sim, fabric, target, listener, region, shared
+
+
+def connect(sim, fabric, listener, name, regions):
+    host = fabric.add_host(name, cores=1)
+    qp = QueuePair(Rnic(host, fabric), listener, name=name)
+    process = host.spawn(qp.connect(regions))
+    process.add_callback(lambda _ev: None)  # observe failures ourselves
+    sim.run_until_settled(process, deadline=1e6)
+    if process.failed:
+        raise process.exception
+    return qp
+
+
+class TestExports:
+    def test_lookup_returns_exported_region(self, setup):
+        _sim, _fabric, _target, listener, region, _shared = setup
+        assert listener.lookup("r") is region
+
+    def test_lookup_unknown_raises(self, setup):
+        _sim, _fabric, _target, listener, *_ = setup
+        with pytest.raises(RdmaProtectionError):
+            listener.lookup("nope")
+
+    def test_unexport_withdraws(self, setup):
+        _sim, _fabric, _target, listener, *_ = setup
+        listener.unexport("r")
+        with pytest.raises(RdmaProtectionError):
+            listener.lookup("r")
+
+    def test_attach_unknown_region_rejected(self, setup):
+        sim, fabric, _target, listener, *_ = setup
+        with pytest.raises(RdmaProtectionError):
+            connect(sim, fabric, listener, "a", ["ghost"])
+
+
+class TestExclusivity:
+    def test_holder_tracked(self, setup):
+        sim, fabric, _target, listener, *_ = setup
+        qp = connect(sim, fabric, listener, "a", ["r"])
+        assert listener.holder_of("r") is qp
+
+    def test_second_connection_revokes_first(self, setup):
+        sim, fabric, _target, listener, *_ = setup
+        first = connect(sim, fabric, listener, "a", ["r"])
+        second = connect(sim, fabric, listener, "b", ["r"])
+        assert first.state is QpState.REVOKED
+        assert second.state is QpState.CONNECTED
+        assert listener.holder_of("r") is second
+
+    def test_reconnect_by_same_owner_not_self_revoking(self, setup):
+        sim, fabric, _target, listener, *_ = setup
+        qp = connect(sim, fabric, listener, "a", ["r"])
+        listener.attach(qp, ["r"])  # idempotent re-attach
+        assert qp.state is QpState.CONNECTED
+
+    def test_shared_region_has_no_holder(self, setup):
+        sim, fabric, _target, listener, *_ = setup
+        connect(sim, fabric, listener, "a", ["s"])
+        connect(sim, fabric, listener, "b", ["s"])
+        assert listener.holder_of("s") is None
+
+    def test_detach_clears_holdership(self, setup):
+        sim, fabric, _target, listener, *_ = setup
+        qp = connect(sim, fabric, listener, "a", ["r"])
+        qp.close()
+        assert listener.holder_of("r") is None
+
+    def test_crash_clears_holderships(self, setup):
+        sim, fabric, target, listener, *_ = setup
+        connect(sim, fabric, listener, "a", ["r"])
+        target.crash()
+        assert listener.holder_of("r") is None
+
+    def test_mixed_grant_revokes_only_exclusive(self, setup):
+        sim, fabric, _target, listener, *_ = setup
+        first = connect(sim, fabric, listener, "a", ["r", "s"])
+        second = connect(sim, fabric, listener, "b", ["r", "s"])
+        assert first.state is QpState.REVOKED  # lost the exclusive region
+        assert second.state is QpState.CONNECTED

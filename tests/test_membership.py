@@ -1,0 +1,51 @@
+"""Unit tests for the membership word."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.membership import MEMBERSHIP_ADDR, RESERVED_BYTES, Membership
+
+
+class TestMembership:
+    def test_roundtrip(self):
+        membership = Membership(7, frozenset({0, 2}))
+        assert Membership.unpack(membership.pack(), total_nodes=3) == membership
+
+    def test_zero_word_bootstraps_all_members(self):
+        membership = Membership.unpack(bytes(8), total_nodes=5)
+        assert membership == Membership(0, frozenset(range(5)))
+
+    def test_with_member_bumps_epoch(self):
+        membership = Membership(3, frozenset({0, 1}))
+        joined = membership.with_member(2)
+        assert joined.epoch == 4
+        assert joined.members == frozenset({0, 1, 2})
+
+    def test_without_member_bumps_epoch(self):
+        membership = Membership(3, frozenset({0, 1, 2}))
+        removed = membership.without_member(1)
+        assert removed.epoch == 4
+        assert removed.members == frozenset({0, 2})
+
+    def test_member_index_range_checked(self):
+        with pytest.raises(ValueError):
+            Membership(1, frozenset({16})).pack()
+
+    def test_empty_members_packs_nonzero(self):
+        """Epoch >= 1 with no members must not collide with bootstrap zero."""
+        membership = Membership(1, frozenset())
+        assert int.from_bytes(membership.pack(), "little") != 0
+        assert Membership.unpack(membership.pack(), 3) == membership
+
+    def test_reserved_region_constants(self):
+        assert MEMBERSHIP_ADDR == 0
+        assert RESERVED_BYTES >= 8
+
+    @given(
+        epoch=st.integers(1, 2**32 - 1),
+        members=st.frozensets(st.integers(0, 15), max_size=16),
+    )
+    def test_roundtrip_property(self, epoch, members):
+        membership = Membership(epoch, members)
+        assert Membership.unpack(membership.pack(), 16) == membership

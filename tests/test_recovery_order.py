@@ -1,0 +1,126 @@
+"""Tests for the §6.5 popularity-ordered recovery extension."""
+
+import pytest
+
+from repro.core import SiftConfig, SiftGroup
+from repro.core.membership import RESERVED_BYTES
+from repro.core.recovery import MemoryNodeRecoveryManager
+from repro.core.replicated_memory import NodeState
+from repro.net import Fabric
+from repro.sim import MS, SEC, Simulator
+
+BASE = RESERVED_BYTES
+
+
+def make_group(order="popularity", **overrides):
+    sim = Simulator()
+    fabric = Fabric(sim)
+    defaults = dict(
+        fm=1,
+        fc=1,
+        data_bytes=64 * 1024,
+        wal_entries=64,
+        recovery_chunk_bytes=8 * 1024,
+        recovery_order=order,
+        memnode_poll_interval_us=20 * MS,
+    )
+    defaults.update(overrides)
+    group = SiftGroup(fabric, SiftConfig(**defaults), name="pop")
+    group.start()
+    return sim, fabric, group
+
+
+def run(sim, gen, until=60 * SEC):
+    process = sim.spawn(gen)
+    sim.run_until_settled(process, deadline=until)
+    assert process.settled
+    if process.failed:
+        raise process.exception
+    return process.value
+
+
+class TestConfig:
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            SiftConfig(recovery_order="random").validate()
+
+    def test_both_orders_accepted(self):
+        SiftConfig(recovery_order="sequential").validate()
+        SiftConfig(recovery_order="popularity").validate()
+
+
+class TestPopularityTracking:
+    def test_reads_accumulate_popularity(self):
+        sim, _f, group = make_group()
+
+        def scenario():
+            coord = yield from group.wait_until_serving(timeout_us=2 * SEC)
+            rm = coord.repmem
+            yield from rm.write(BASE, b"hot")
+            for _ in range(10):
+                yield from rm.read(BASE, 3)
+            yield from rm.read(32 * 1024, 3)
+            return dict(rm.read_popularity)
+
+        popularity = run(sim, scenario())
+        hot_chunk = BASE // (8 * 1024)
+        cold_chunk = 32 * 1024 // (8 * 1024)
+        assert popularity[hot_chunk] > popularity[cold_chunk]
+
+
+class TestCopyPlan:
+    def _manager_with_popularity(self, order):
+        sim, _f, group = make_group(order=order)
+        sim.run(until=300 * MS)
+        coordinator = group.serving_coordinator()
+        rm = coordinator.repmem
+        # Chunk 2 hottest, chunk 5 warm, everything else cold.
+        rm.read_popularity[2] = 100
+        rm.read_popularity[5] = 10
+        return MemoryNodeRecoveryManager(rm), rm.config
+
+    def test_sequential_plan_is_address_ordered(self):
+        manager, config = self._manager_with_popularity("sequential")
+        plan = manager._copy_plan()
+        addresses = [addr for addr, _length in plan]
+        assert addresses == sorted(addresses)
+
+    def test_popularity_plan_puts_hot_chunks_last(self):
+        manager, config = self._manager_with_popularity("popularity")
+        plan = manager._copy_plan()
+        step = config.recovery_chunk_bytes
+        chunk_order = [addr // step for addr, _length in plan]
+        assert chunk_order[-1] == 2  # hottest copied last
+        assert chunk_order[-2] == 5
+        # Every chunk is still covered exactly once.
+        assert sorted(chunk_order) == list(range(len(plan)))
+
+    def test_plan_covers_whole_space(self):
+        manager, config = self._manager_with_popularity("popularity")
+        plan = manager._copy_plan()
+        assert sum(length for _addr, length in plan) == config.data_bytes
+
+
+class TestEndToEnd:
+    def test_popularity_ordered_recovery_completes_and_is_correct(self):
+        sim, _f, group = make_group(order="popularity")
+
+        def scenario():
+            coord = yield from group.wait_until_serving(timeout_us=2 * SEC)
+            rm = coord.repmem
+            for index in range(8):
+                yield from rm.write(BASE + index * 4096, b"block-%d" % index)
+            for _ in range(20):  # make block 0 hot
+                yield from rm.read(BASE, 7)
+            group.crash_memory_node(2)
+            yield from rm.write(BASE, b"block-X")
+            yield sim.timeout(5 * MS)
+            group.restart_memory_node(2)
+            deadline = sim.now + 30 * SEC
+            while rm.states[2] != NodeState.LIVE and sim.now < deadline:
+                yield sim.timeout(10 * MS)
+            assert rm.states[2] == NodeState.LIVE
+            offset = rm.amap.raw_extent(BASE)
+            return group.memory_nodes[2].repmem_region.read(offset, 7)
+
+        assert run(sim, scenario()) == b"block-X"

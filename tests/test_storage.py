@@ -1,0 +1,174 @@
+"""Unit tests for the memory-node substrate: admin word, WAL codec, node."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Fabric
+from repro.sim import Simulator
+from repro.storage import AdminWord, MemoryNode, MemoryNodeConfig, WalCodec, WalEntry, WalLayout
+from repro.storage.memory_node import ADMIN_REGION, META_REGION, REPMEM_REGION
+from repro.storage.wal import HEADER_BYTES
+
+
+class TestAdminWord:
+    def test_pack_unpack_roundtrip(self):
+        word = AdminWord(term_id=5, node_id=3, timestamp=123_456)
+        assert AdminWord.unpack(word.pack()) == word
+
+    def test_zero_word(self):
+        assert AdminWord.unpack(0) == AdminWord(0, 0, 0)
+
+    def test_field_limits(self):
+        AdminWord(0xFFFF, 0xFFFF, 0xFFFFFFFF).pack()  # max values fit
+        with pytest.raises(ValueError):
+            AdminWord(0x10000, 0, 0).pack()
+        with pytest.raises(ValueError):
+            AdminWord(0, 0x10000, 0).pack()
+        with pytest.raises(ValueError):
+            AdminWord(0, 0, 0x100000000).pack()
+
+    def test_with_timestamp_wraps(self):
+        word = AdminWord(1, 2, 0xFFFFFFFF)
+        renewed = word.with_timestamp(0x1_0000_0005)
+        assert renewed == AdminWord(1, 2, 5)
+
+    def test_packing_is_order_preserving_in_term(self):
+        """Higher term always packs to a numerically larger word."""
+        low = AdminWord(3, 0xFFFF, 0xFFFFFFFF).pack()
+        high = AdminWord(4, 0, 0).pack()
+        assert high > low
+
+    @given(
+        term=st.integers(0, 0xFFFF),
+        node=st.integers(0, 0xFFFF),
+        ts=st.integers(0, 0xFFFFFFFF),
+    )
+    def test_roundtrip_property(self, term, node, ts):
+        word = AdminWord(term, node, ts)
+        assert AdminWord.unpack(word.pack()) == word
+
+
+class TestWalLayout:
+    def test_slot_geometry(self):
+        layout = WalLayout(entry_count=128, payload_bytes=1000)
+        assert layout.slot_bytes == HEADER_BYTES + 1000
+        assert layout.total_bytes == 128 * layout.slot_bytes
+
+    def test_slot_offsets_are_circular(self):
+        layout = WalLayout(entry_count=4, payload_bytes=100)
+        assert layout.slot_offset(1) == 0
+        assert layout.slot_offset(4) == 3 * layout.slot_bytes
+        assert layout.slot_offset(5) == 0  # wraps
+
+    def test_indices_start_at_one(self):
+        layout = WalLayout(entry_count=4, payload_bytes=100)
+        with pytest.raises(ValueError):
+            layout.slot_offset(0)
+
+
+class TestWalCodec:
+    def _codec(self, payload=1024):
+        return WalCodec(WalLayout(entry_count=64, payload_bytes=payload))
+
+    def test_roundtrip(self):
+        codec = self._codec()
+        entry = WalEntry(7, 4096, b"some data", term=3)
+        assert codec.decode(codec.encode(entry)) == entry
+
+    def test_empty_slot_decodes_none(self):
+        codec = self._codec()
+        assert codec.decode(bytes(codec.layout.slot_bytes)) is None
+
+    def test_oversized_payload_rejected(self):
+        codec = self._codec(payload=16)
+        with pytest.raises(ValueError):
+            codec.encode(WalEntry(1, 0, b"x" * 17))
+
+    def test_corrupt_payload_detected(self):
+        codec = self._codec()
+        raw = bytearray(codec.encode(WalEntry(9, 64, b"payload", term=1)))
+        raw[HEADER_BYTES] ^= 0xFF  # flip a payload bit
+        assert codec.decode(bytes(raw)) is None
+
+    def test_torn_header_detected(self):
+        codec = self._codec()
+        raw = bytearray(codec.encode(WalEntry(9, 64, b"payload", term=1)))
+        raw[0] ^= 0x01  # index corrupted -> crc mismatch
+        assert codec.decode(bytes(raw)) is None
+
+    def test_truncated_slot_decodes_none(self):
+        codec = self._codec()
+        assert codec.decode(b"short") is None
+
+    def test_stale_tail_from_previous_occupant_is_harmless(self):
+        codec = self._codec()
+        old = codec.encode(WalEntry(1, 0, b"A" * 200, term=1))
+        new = codec.encode(WalEntry(65, 0, b"B" * 10, term=2))
+        slot = bytearray(codec.layout.slot_bytes)
+        slot[: len(old)] = old
+        slot[: len(new)] = new  # shorter entry overwrites the header+payload
+        decoded = codec.decode(bytes(slot))
+        assert decoded == WalEntry(65, 0, b"B" * 10, term=2)
+
+    @given(
+        index=st.integers(1, 2**62),
+        addr=st.integers(0, 2**62),
+        term=st.integers(0, 2**62),
+        data=st.binary(max_size=256),
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, index, addr, term, data):
+        codec = WalCodec(WalLayout(entry_count=8, payload_bytes=256))
+        entry = WalEntry(index, addr, data, term)
+        assert codec.decode(codec.encode(entry)) == entry
+
+
+class TestMemoryNodeConfig:
+    def test_region_geometry(self):
+        config = MemoryNodeConfig(wal_entries=16, wal_payload_bytes=100, data_bytes=1000)
+        assert config.data_offset == config.wal_layout.total_bytes
+        assert config.region_bytes == config.data_offset + 1000
+
+
+class TestMemoryNode:
+    def _node(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        config = MemoryNodeConfig(wal_entries=16, wal_payload_bytes=128, data_bytes=4096)
+        return MemoryNode(fabric, "m0", 0, config=config)
+
+    def test_exports_all_regions(self):
+        node = self._node()
+        assert node.listener.lookup(ADMIN_REGION) is node.admin_region
+        assert node.listener.lookup(REPMEM_REGION) is node.repmem_region
+        assert node.listener.lookup(META_REGION) is node.meta_region
+
+    def test_volatile_restart_wipes_contents(self):
+        node = self._node()
+        node.repmem_region.write(0, b"data")
+        node.meta_region.write_word(0, 1)
+        node.crash()
+        node.restart()
+        assert node.repmem_region.read(0, 4) == bytes(4)
+        assert node.meta_region.read_word(0) == 0
+
+    def test_persistent_restart_keeps_contents(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        config = MemoryNodeConfig(
+            wal_entries=16, wal_payload_bytes=128, data_bytes=4096, persistent=True
+        )
+        node = MemoryNode(fabric, "m0", 0, config=config)
+        node.repmem_region.write(0, b"data")
+        node.crash()
+        node.restart()
+        assert node.repmem_region.read(0, 4) == b"data"
+
+    def test_restart_bumps_incarnation(self):
+        node = self._node()
+        node.crash()
+        assert not node.alive
+        node.restart()
+        assert node.alive
+        assert node.host.incarnation == 1

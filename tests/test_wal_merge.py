@@ -1,0 +1,60 @@
+"""Unit tests for WAL merge rules (the Raft-style divergence handling)."""
+
+from repro.kv.layout import OP_PUT, WalRecord
+from repro.kv.store import merge_wal_records
+
+
+def rec(seq, term, value=b"v", key=b"k"):
+    return WalRecord(seq, OP_PUT, key, value, term)
+
+
+class TestKvWalMerge:
+    def test_union_of_disjoint_nodes(self):
+        a = {1: rec(1, 1), 3: rec(3, 1)}
+        b = {2: rec(2, 1)}
+        merged = merge_wal_records([a, b], floor_seq=0)
+        assert [r.seq for r in merged] == [1, 2, 3]
+
+    def test_floor_excludes_applied_prefix(self):
+        records = {i: rec(i, 1) for i in range(1, 10)}
+        merged = merge_wal_records([records], floor_seq=6)
+        assert [r.seq for r in merged] == [7, 8, 9]
+
+    def test_higher_term_wins_at_same_seq(self):
+        stale = {5: rec(5, 1, b"stale")}
+        fresh = {5: rec(5, 2, b"fresh")}
+        merged = merge_wal_records([stale, fresh], floor_seq=0)
+        assert merged == [rec(5, 2, b"fresh")]
+        # Order of the node list must not matter.
+        merged2 = merge_wal_records([fresh, stale], floor_seq=0)
+        assert merged2 == merged
+
+    def test_stale_suffix_beyond_newest_term_truncated(self):
+        """A deposed coordinator's records past the successor's last
+        sequence must be dropped, not resurrected."""
+        deposed = {1: rec(1, 1), 2: rec(2, 1), 3: rec(3, 1), 4: rec(4, 1)}
+        successor = {1: rec(1, 1), 2: rec(2, 2)}
+        merged = merge_wal_records([deposed, successor], floor_seq=0)
+        assert [(r.seq, r.term) for r in merged] == [(1, 1), (2, 2)]
+
+    def test_empty_inputs(self):
+        assert merge_wal_records([], floor_seq=0) == []
+        assert merge_wal_records([{}, {}], floor_seq=0) == []
+
+    def test_single_node_passthrough(self):
+        records = {1: rec(1, 3), 2: rec(2, 3)}
+        merged = merge_wal_records([records], floor_seq=0)
+        assert [r.seq for r in merged] == [1, 2]
+
+    def test_gap_in_sequences_preserved_up_to_last(self):
+        """Gaps (uncommitted holes) do not block later records."""
+        records = {1: rec(1, 1), 4: rec(4, 1)}
+        merged = merge_wal_records([records], floor_seq=0)
+        assert [r.seq for r in merged] == [1, 4]
+
+    def test_mixed_terms_interleaved(self):
+        node_a = {1: rec(1, 1), 2: rec(2, 1), 3: rec(3, 3)}
+        node_b = {2: rec(2, 2), 3: rec(3, 1), 5: rec(5, 2)}
+        merged = merge_wal_records([node_a, node_b], floor_seq=0)
+        # Max term overall is 3 at seq 3 -> keep seqs <= 3, max term per seq.
+        assert [(r.seq, r.term) for r in merged] == [(1, 1), (2, 2), (3, 3)]
