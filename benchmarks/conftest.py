@@ -1,25 +1,20 @@
 """Shared benchmark configuration.
 
-Every benchmark runs a deterministic simulated experiment exactly once
-(``rounds=1``): the numbers of interest are the *simulated* metrics the
-module prints, not the harness wall time pytest-benchmark records.
-
 Scale knobs are environment variables (see
 :mod:`repro.bench.calibration`); the defaults keep a full
 ``pytest benchmarks/ --benchmark-only`` run in the tens of minutes.
+The single-shot runner itself lives in :mod:`repro.testing` (shared
+with the test suite's conftest machinery).
 """
 
 import pytest
 
-
-def run_once(benchmark, fn):
-    """Run *fn* exactly once under pytest-benchmark and return its result."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+from repro.testing import run_once
 
 
 @pytest.fixture
 def once(benchmark):
-    """Fixture form of :func:`run_once`."""
+    """Fixture form of :func:`repro.testing.run_once`."""
 
     def runner(fn):
         return run_once(benchmark, fn)

@@ -14,6 +14,7 @@ import pytest
 from repro.bench import run_timeline, sift_spec
 from repro.bench.calibration import BenchScale
 from repro.bench.report import series_table, sparkline
+from repro.chaos import FaultSchedule
 from repro.sim.units import MS, SEC
 from repro.workloads import WORKLOADS
 
@@ -29,12 +30,7 @@ def timeline():
     spec = sift_spec(cores=12, scale=scale)
     recovered_at = []
 
-    def kill(group):
-        group.crash_memory_node(2)
-
-    def restart(group):
-        group.restart_memory_node(2)
-
+    def watch_recovery(group):
         def watch():
             coordinator = group.serving_coordinator()
             while coordinator.repmem.states[2] != "live":
@@ -43,12 +39,18 @@ def timeline():
 
         group.fabric.sim.spawn(watch(), name="watch-recovery")
 
+    schedule = (
+        FaultSchedule()
+        .crash_memory_node(KILL_AT, 2)
+        .restart_memory_node(RESTART_AT, 2)
+        .probe(RESTART_AT, watch_recovery, "watch recovery")
+    )
     result = run_timeline(
         spec,
         WORKLOADS["read-heavy"],
         CLIENTS,
         DURATION,
-        events=[(KILL_AT, "memory node killed", kill), (RESTART_AT, "restarted", restart)],
+        events=schedule,
         scale=scale,
     )
     return result, recovered_at

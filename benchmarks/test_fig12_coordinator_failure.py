@@ -14,6 +14,7 @@ import pytest
 from repro.bench import run_timeline, sift_spec
 from repro.bench.calibration import BenchScale
 from repro.bench.report import series_table, sparkline
+from repro.chaos import LEADER, FaultSchedule
 from repro.sim.units import MS, SEC
 from repro.workloads import WORKLOADS
 
@@ -28,9 +29,8 @@ def timeline():
     spec = sift_spec(cores=12, scale=scale)
     marks = {}
 
-    def kill(group):
+    def watch_takeover(group):
         marks["killed"] = group.fabric.sim.now
-        group.crash_coordinator()
 
         def watch():
             sim = group.fabric.sim
@@ -42,12 +42,17 @@ def timeline():
 
         group.fabric.sim.spawn(watch(), name="watch-takeover")
 
+    schedule = (
+        FaultSchedule()
+        .crash_leader(KILL_AT)
+        .probe(KILL_AT, watch_takeover, "watch takeover")
+    )
     result = run_timeline(
         spec,
         WORKLOADS["read-heavy"],
         CLIENTS,
         DURATION,
-        events=[(KILL_AT, "coordinator killed", kill)],
+        events=schedule,
         scale=scale,
     )
     return result, marks

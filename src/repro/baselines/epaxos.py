@@ -126,9 +126,11 @@ CTRL_WIRE_BYTES = 64
 class _BatchState:
     __slots__ = ("replies", "deps_changed", "done", "accept_replies", "commands")
 
-    def __init__(self, done: Event, commands: Tuple[_Command, ...]):
-        self.replies = 1  # the command leader pre-accepts its own batch
-        self.accept_replies = 1
+    def __init__(self, done: Event, commands: Tuple[_Command, ...], leader: int):
+        # Replies are tracked per sender: a duplicated network message must
+        # not count twice toward a quorum.
+        self.replies = {leader}  # the command leader pre-accepts its own batch
+        self.accept_replies = {leader}
         self.deps_changed = False
         self.done = done
         self.commands = commands
@@ -170,6 +172,23 @@ class EPaxosReplica:
 
     def crash(self) -> None:
         self.host.crash()
+
+    def restart(self) -> None:
+        """Restart with empty state (in-flight batches at this replica die).
+
+        Clients that were waiting on those batches observe RPC timeouts
+        and retry elsewhere; peers' dependency tables already carry the
+        sequence numbers this replica handed out, so ordering is safe.
+        """
+        if self.host.alive:
+            return
+        self.store = {}
+        self.key_seq = {}
+        self._batch = []
+        self._batch_timer_armed = False
+        self._inflight = {}
+        self.host.restart()
+        self.start()
 
     # ------------------------------------------------------------------
     # Client handlers: everything goes through consensus (§6.3.2)
@@ -217,7 +236,7 @@ class EPaxosReplica:
         batch_id = next(self._batch_ids)
         commands = tuple(cmd for cmd, _done in batch)
         seqs = tuple(self._bump_seq(cmd.key) for cmd in commands)
-        state = _BatchState(self._make_done(batch), commands)
+        state = _BatchState(self._make_done(batch), commands, self.index)
         self._inflight[batch_id] = state
         self.stats["batches"] += 1
         message = _PreAccept(self.index, batch_id, commands, seqs)
@@ -285,7 +304,7 @@ class EPaxosReplica:
         state = self._inflight.get(msg.batch_id)
         if state is None or state.done.settled:
             return
-        state.replies += 1
+        state.replies.add(msg.sender)
         state.deps_changed = state.deps_changed or msg.deps_changed
         self._maybe_finish(msg.batch_id)
 
@@ -293,10 +312,10 @@ class EPaxosReplica:
         state = self._inflight.get(batch_id)
         if state is None or state.done.settled:
             return
-        if not state.deps_changed and state.replies >= self.config.fast_quorum:
+        if not state.deps_changed and len(state.replies) >= self.config.fast_quorum:
             self.stats["fast_path"] += 1
             self._commit(batch_id, state)
-        elif state.deps_changed and state.replies >= self.config.nodes:
+        elif state.deps_changed and len(state.replies) >= self.config.nodes:
             # Slow path: all PreAccept replies in, run the Accept round.
             self.stats["slow_path"] += 1
             self._run_accept(batch_id, state)
@@ -318,8 +337,8 @@ class EPaxosReplica:
         state = self._inflight.get(msg.batch_id)
         if state is None or state.done.settled:
             return
-        state.accept_replies += 1
-        if state.accept_replies >= self.config.slow_quorum:
+        state.accept_replies.add(msg.sender)
+        if len(state.accept_replies) >= self.config.slow_quorum:
             self._commit(msg.batch_id, state)
 
     def _commit(self, batch_id: int, state: _BatchState) -> None:

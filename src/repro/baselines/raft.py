@@ -186,6 +186,32 @@ class RaftNode:
         self.host.crash()
         self.role = "follower"
 
+    def restart(self) -> None:
+        """Restart with empty state (the in-memory baseline persists nothing).
+
+        The node rejoins as a term-0 follower with an empty log and map;
+        the leader's AppendEntries consistency check walks its next-index
+        back and replays the whole log, exactly as after a fresh start.
+        """
+        if self.host.alive:
+            return
+        self.term = 0
+        self.voted_for = None
+        self.log = []
+        self.role = "follower"
+        self.commit_index = 0
+        self.last_applied = 0
+        self.leader_hint = None
+        self._votes = set()
+        self.next_index = {}
+        self.match_index = {}
+        self._commit_waiters = {}
+        self._replicator_kicks = {}
+        self.partitions = [{} for _ in range(self.config.partitions)]
+        self.host.restart()
+        self._last_heartbeat = self.sim.now
+        self.start()
+
     @property
     def last_index(self) -> int:
         return len(self.log)

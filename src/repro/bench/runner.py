@@ -91,7 +91,9 @@ def _drive(
 ):
     """Common build -> preload -> warmup -> measure flow; returns metrics."""
     sim, fabric, cluster = _setup(spec, scale, seed)
-    metrics = Metrics()
+    # Derive the reservoir-sampling RNG from the experiment seed: every
+    # source of randomness in a run traces back to the one seed argument.
+    metrics = Metrics(seed=seed)
     sampler = sampler or ZipfSampler(scale.keys, scale.zipf_theta)
     pool = ClientPool(
         fabric, cluster, n_clients, mix, sampler, metrics,
@@ -171,9 +173,14 @@ def run_timeline(
 
     *events* is a list of ``(at_us, label, fn)``; ``fn(cluster)`` runs at
     simulated time *at_us* measured from the start of the measurement.
+    A :class:`repro.chaos.FaultSchedule` is accepted directly — its
+    actions become the event list, injected through a
+    :class:`repro.chaos.adapters.ChaosController`.
     """
+    if hasattr(events, "to_timeline_events"):
+        events = events.to_timeline_events()
     sim, fabric, cluster = _setup(spec, scale, seed)
-    metrics = Metrics()
+    metrics = Metrics(seed=seed)
     sampler = ZipfSampler(scale.keys, scale.zipf_theta)
     pool = ClientPool(
         fabric, cluster, n_clients, mix, sampler, metrics,

@@ -1,0 +1,114 @@
+"""Seeded message-level faults, installed as a fabric interceptor.
+
+One :class:`MessageChaos` per fabric draws every probabilistic decision
+from the dedicated ``"chaos:net"`` RNG stream, so
+
+* enabling message chaos never perturbs the draws of any other stream
+  (latency models, election back-offs, workload generators), and
+* the same seed over the same message sequence makes identical
+  drop/delay/duplicate decisions — failing runs replay exactly.
+
+The interceptor is only registered while at least one effect is active;
+a schedule that injects no message faults leaves the fabric's delivery
+path bit-identical to the un-instrumented one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.net.fabric import Fabric, PASS, Verdict
+
+__all__ = ["MessageChaos"]
+
+
+class MessageChaos:
+    """Drops, delays, and duplicates messages with seeded randomness."""
+
+    def __init__(self, fabric: Fabric):
+        self.fabric = fabric
+        self.rng = fabric.rng.stream("chaos:net")
+        self.drop_fraction = 0.0
+        self.drop_streams: Optional[Tuple[str, ...]] = None  # None: all streams
+        self.delay_us = 0.0
+        self.delay_fraction = 0.0
+        self.delay_streams: Optional[Tuple[str, ...]] = None
+        self.duplicate_fraction = 0.0
+        self.duplicate_streams: Optional[Tuple[str, ...]] = None
+        self._installed = False
+
+    # -- configuration ---------------------------------------------------------
+
+    def set_drop(self, fraction: float, streams: Optional[Tuple[str, ...]] = None) -> None:
+        self.drop_fraction = fraction
+        self.drop_streams = tuple(streams) if streams else None
+        self._sync()
+
+    def set_delay(
+        self,
+        extra_us: float,
+        fraction: float = 1.0,
+        streams: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        self.delay_us = extra_us
+        self.delay_fraction = fraction if extra_us > 0 else 0.0
+        self.delay_streams = tuple(streams) if streams else None
+        self._sync()
+
+    def set_duplicate(
+        self, fraction: float, streams: Optional[Tuple[str, ...]] = None
+    ) -> None:
+        self.duplicate_fraction = fraction
+        self.duplicate_streams = tuple(streams) if streams else None
+        self._sync()
+
+    def clear(self) -> None:
+        """Stop all message faults and uninstall the interceptor."""
+        self.drop_fraction = 0.0
+        self.delay_fraction = 0.0
+        self.delay_us = 0.0
+        self.duplicate_fraction = 0.0
+        self._sync()
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.drop_fraction > 0
+            or (self.delay_fraction > 0 and self.delay_us > 0)
+            or self.duplicate_fraction > 0
+        )
+
+    def _sync(self) -> None:
+        """Install/uninstall so an idle MessageChaos costs nothing."""
+        if self.active and not self._installed:
+            self.fabric.add_interceptor(self)
+            self._installed = True
+        elif not self.active and self._installed:
+            self.fabric.remove_interceptor(self)
+            self._installed = False
+
+    # -- the interceptor ---------------------------------------------------------
+
+    @staticmethod
+    def _matches(stream: str, streams: Optional[Tuple[str, ...]]) -> bool:
+        return streams is None or stream in streams
+
+    def __call__(self, src: str, dst: str, size_bytes: int, stream: str) -> Verdict:
+        drop = False
+        extra = 0.0
+        duplicates = 0
+        if self.drop_fraction > 0 and self._matches(stream, self.drop_streams):
+            drop = self.rng.random() < self.drop_fraction
+        if (
+            self.delay_fraction > 0
+            and self.delay_us > 0
+            and self._matches(stream, self.delay_streams)
+        ):
+            if self.delay_fraction >= 1.0 or self.rng.random() < self.delay_fraction:
+                extra = self.delay_us
+        if self.duplicate_fraction > 0 and self._matches(stream, self.duplicate_streams):
+            if self.rng.random() < self.duplicate_fraction:
+                duplicates = 1
+        if not (drop or extra or duplicates):
+            return PASS
+        return Verdict(drop=drop, extra_delay_us=extra, duplicates=duplicates)

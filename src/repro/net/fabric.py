@@ -9,7 +9,7 @@ destination crashes is lost, exactly as on a real network.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, FrozenSet, Optional, Set
+from typing import Any, Callable, Dict, FrozenSet, List, NamedTuple, Optional, Set
 
 from repro.net.errors import HostDown, Unreachable
 from repro.net.host import Host
@@ -17,7 +17,30 @@ from repro.net.latency import LatencyModel, LinearLatency
 from repro.sim.engine import Event, Simulator
 from repro.sim.rng import RngStreams
 
-__all__ = ["Fabric"]
+__all__ = ["Fabric", "Verdict"]
+
+
+class Verdict(NamedTuple):
+    """An interceptor's ruling on one in-flight message.
+
+    Interceptors (installed by the fault-injection layer, see
+    :mod:`repro.chaos`) are consulted per message and may drop it,
+    delay it, or deliver extra copies.  ``duplicate_gap_us`` spaces the
+    copies so they arrive as distinct events.
+    """
+
+    drop: bool = False
+    extra_delay_us: float = 0.0
+    duplicates: int = 0
+    duplicate_gap_us: float = 1.0
+
+
+PASS = Verdict()
+"""The default ruling: deliver the message untouched."""
+
+
+Interceptor = Callable[[str, str, int, str], Verdict]
+"""``(src, dst, size_bytes, stream) -> Verdict``."""
 
 
 class Fabric:
@@ -34,9 +57,13 @@ class Fabric:
         self.default_latency = default_latency or LinearLatency(base_us=5.0)
         self.hosts: Dict[str, Host] = {}
         self._blocked_pairs: Set[FrozenSet[str]] = set()
+        self._blocked_oneway: Set[tuple] = set()
         self._isolated: Set[str] = set()
+        self._interceptors: List[Interceptor] = []
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
 
     # -- topology ------------------------------------------------------------
 
@@ -62,6 +89,19 @@ class Fabric:
         """Restore traffic between hosts *a* and *b*."""
         self._blocked_pairs.discard(frozenset((a, b)))
 
+    def block_oneway(self, src: str, dst: str) -> None:
+        """Drop traffic *from* src *to* dst only (asymmetric partition).
+
+        Real RDMA deployments see these when one switch port loses its
+        transmit lane or an ACL is misconfigured: A's verbs to B vanish
+        while B still reaches A.
+        """
+        self._blocked_oneway.add((src, dst))
+
+    def unblock_oneway(self, src: str, dst: str) -> None:
+        """Restore the src -> dst direction."""
+        self._blocked_oneway.discard((src, dst))
+
     def isolate(self, name: str) -> None:
         """Cut a host off from everyone (asymmetric partitions via block())."""
         self._isolated.add(name)
@@ -73,13 +113,51 @@ class Fabric:
     def heal(self) -> None:
         """Remove every partition."""
         self._blocked_pairs.clear()
+        self._blocked_oneway.clear()
         self._isolated.clear()
+
+    # -- message interception --------------------------------------------------
+
+    def add_interceptor(self, interceptor: Interceptor) -> Interceptor:
+        """Install a per-message fault hook; returns it for later removal.
+
+        With no interceptors installed, :meth:`deliver` is byte-for-byte
+        identical to the un-instrumented fabric (no extra RNG draws), so
+        experiments that inject only crashes reproduce their exact
+        pre-chaos schedules.
+        """
+        self._interceptors.append(interceptor)
+        return interceptor
+
+    def remove_interceptor(self, interceptor: Interceptor) -> None:
+        """Uninstall a previously added interceptor (no-op if absent)."""
+        try:
+            self._interceptors.remove(interceptor)
+        except ValueError:
+            pass
+
+    def _intercept(self, src: str, dst: str, size_bytes: int, stream: str) -> Verdict:
+        drop = False
+        extra = 0.0
+        duplicates = 0
+        gap = 1.0
+        for interceptor in self._interceptors:
+            verdict = interceptor(src, dst, size_bytes, stream)
+            if verdict is None:
+                continue
+            drop = drop or verdict.drop
+            extra += verdict.extra_delay_us
+            duplicates += verdict.duplicates
+            gap = verdict.duplicate_gap_us
+        return Verdict(drop, extra, duplicates, gap)
 
     def reachable(self, src: str, dst: str) -> bool:
         """Whether a message sent now from *src* would arrive at *dst*."""
         if src in self._isolated or dst in self._isolated:
             return False
         if frozenset((src, dst)) in self._blocked_pairs:
+            return False
+        if (src, dst) in self._blocked_oneway:
             return False
         dst_host = self.hosts.get(dst)
         return dst_host is not None and dst_host.alive
@@ -109,6 +187,17 @@ class Fabric:
         delay = model.sample(self.rng.stream(stream), size_bytes)
         self.messages_sent += 1
         self.bytes_sent += size_bytes
+        verdict = (
+            self._intercept(src.name, dst.name, size_bytes, stream)
+            if self._interceptors
+            else PASS
+        )
+        if verdict.drop:
+            # The sender believes the send succeeded; the message is lost
+            # in flight (silent, exactly like an in-flight crash).
+            self.messages_dropped += 1
+            return True
+        delay += verdict.extra_delay_us
         dst_incarnation = dst.incarnation
 
         def arrive() -> None:
@@ -119,6 +208,9 @@ class Fabric:
             on_arrival()
 
         self.sim.schedule(delay, arrive)
+        for copy in range(verdict.duplicates):
+            self.messages_duplicated += 1
+            self.sim.schedule(delay + (copy + 1) * verdict.duplicate_gap_us, arrive)
         return True
 
     def round_trip(

@@ -23,6 +23,7 @@ class PartitionController:
     def __init__(self, fabric: Fabric):
         self.fabric = fabric
         self._splits: List[Tuple[Tuple[str, ...], Tuple[str, ...]]] = []
+        self._oneway: List[Tuple[Tuple[str, ...], Tuple[str, ...]]] = []
 
     def split(self, side_a: Iterable[str], side_b: Iterable[str]) -> None:
         """Block all traffic between *side_a* and *side_b*."""
@@ -31,6 +32,18 @@ class PartitionController:
         for host_a, host_b in product(a, b):
             self.fabric.block(host_a, host_b)
         self._splits.append((a, b))
+
+    def split_oneway(self, sources: Iterable[str], destinations: Iterable[str]) -> None:
+        """Block traffic *from* sources *to* destinations only.
+
+        The reverse direction keeps flowing — the asymmetric case where
+        a coordinator's writes vanish while it still hears the world.
+        """
+        srcs = tuple(sources)
+        dsts = tuple(destinations)
+        for src, dst in product(srcs, dsts):
+            self.fabric.block_oneway(src, dst)
+        self._oneway.append((srcs, dsts))
 
     def isolate(self, host: str) -> None:
         """Cut one host off from the rest of the cluster."""
@@ -46,4 +59,8 @@ class PartitionController:
             for host_a, host_b in product(a, b):
                 self.fabric.unblock(host_a, host_b)
         self._splits.clear()
+        for srcs, dsts in self._oneway:
+            for src, dst in product(srcs, dsts):
+                self.fabric.unblock_oneway(src, dst)
+        self._oneway.clear()
         self.fabric.heal()

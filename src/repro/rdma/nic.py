@@ -54,11 +54,34 @@ class Rnic:
         self._txq = CpuPool(host.sim, 1, name=f"{host.name}.rnic.tx")
         self._last_arrival: Dict[str, float] = {}
         self.verbs_issued = 0
+        self.failed = False
         host.services["rnic"] = self
 
     def on_host_crash(self) -> None:
         """Drop queued transmissions; in-service ones are dropped on exit."""
         self._txq.drain()
+
+    # -- fault injection -------------------------------------------------------
+
+    def fail_queues(self) -> None:
+        """Push every queue pair on this NIC into the error state.
+
+        Models a NIC/port fault without a host crash: outgoing verbs are
+        silently lost from this instant (requesters see retry-exhaustion
+        timeouts), while the host's CPU keeps running.  Mirrors an RC QP
+        transitioning to the IB error state.
+        """
+        self.failed = True
+        self._txq.drain()
+
+    def restore_queues(self) -> None:
+        """Recover the NIC; subsequent verbs flow again.
+
+        Connections themselves are not re-established here — protocol
+        layers observe the timeouts and reconnect, exactly as they do
+        after a crash-induced QP loss.
+        """
+        self.failed = False
 
     def ordered_deliver(
         self, target: Host, on_arrival: Callable[[], None]
@@ -69,7 +92,7 @@ class Rnic:
         jitter alone could, so arrival times toward each target are
         clamped to be monotonically increasing.
         """
-        if not self.host.alive:
+        if not self.host.alive or self.failed:
             return
         sim = self.host.sim
         rng = self.fabric.rng.stream("rdma")
@@ -156,7 +179,7 @@ class Rnic:
         src_incarnation = self.host.incarnation
 
         def back() -> None:
-            if self.host.alive and self.host.incarnation == src_incarnation:
+            if self.host.alive and self.host.incarnation == src_incarnation and not self.failed:
                 complete()
 
         if not self.fabric.reachable(target.name, self.host.name):

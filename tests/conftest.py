@@ -1,19 +1,6 @@
-"""Shared test configuration.
+"""Shared test configuration (see :mod:`repro.testing` for the helpers
+this suite and the benchmark suite both use)."""
 
-Hypothesis: simulations are deterministic but not fast on a single core,
-so the profile disables per-example deadlines (wall-clock noise must not
-fail a correct property) and keeps example counts moderate; individual
-tests override ``max_examples`` where a structure deserves a deeper
-search.
-"""
+from repro.testing import register_hypothesis_profile
 
-from hypothesis import HealthCheck, settings
-
-settings.register_profile(
-    "repro",
-    deadline=None,
-    max_examples=60,
-    suppress_health_check=[HealthCheck.too_slow],
-    derandomize=True,
-)
-settings.load_profile("repro")
+register_hypothesis_profile()

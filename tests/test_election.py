@@ -2,22 +2,13 @@
 
 import pytest
 
-from repro.core import Role, SiftConfig, SiftGroup
+from repro.core import Role
 from repro.core.membership import RESERVED_BYTES
-from repro.net import Fabric, PartitionController
-from repro.sim import MS, SEC, Simulator
+from repro.net import PartitionController
+from repro.sim import MS, SEC
+from repro.testing import make_group
 
 BASE = RESERVED_BYTES
-
-
-def make_group(fc=1, **overrides):
-    sim = Simulator()
-    fabric = Fabric(sim)
-    defaults = dict(fm=1, fc=fc, data_bytes=64 * 1024, wal_entries=64)
-    defaults.update(overrides)
-    group = SiftGroup(fabric, SiftConfig(**defaults), name="e")
-    group.start()
-    return sim, fabric, group
 
 
 def count_coordinators(group):

@@ -2,34 +2,11 @@
 
 import pytest
 
-from repro.core import SiftGroup
 from repro.core.replicated_memory import NodeState
-from repro.kv import KvClient, KvConfig, kv_app_factory
-from repro.net import Fabric
-from repro.sim import MS, SEC, Simulator
-
-
-def make_stack(ec=False, fc=1, fm=1):
-    sim = Simulator()
-    fabric = Fabric(sim)
-    kv_config = KvConfig(max_keys=256, wal_entries=128, watermark_interval=32)
-    sift_config = kv_config.sift_config(
-        fm=fm, fc=fc, erasure_coding=ec, wal_entries=128,
-        memnode_poll_interval_us=30 * MS,
-    )
-    group = SiftGroup(fabric, sift_config, name="i", app_factory=kv_app_factory(kv_config))
-    group.start()
-    client = KvClient(fabric.add_host("client", cores=4), fabric, group)
-    return sim, fabric, group, client
-
-
-def run(sim, gen, until=120 * SEC):
-    process = sim.spawn(gen)
-    sim.run_until_settled(process, deadline=until)
-    assert process.settled, "scenario did not finish"
-    if process.failed:
-        raise process.exception
-    return process.value
+from repro.kv import KvClient
+from repro.sim import MS, SEC
+from repro.testing import make_kv_stack as make_stack
+from repro.testing import run_scenario as run
 
 
 class TestCombinedFailures:
