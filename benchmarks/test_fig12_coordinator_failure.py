@@ -14,7 +14,7 @@ import pytest
 from repro.bench import run_timeline, sift_spec
 from repro.bench.calibration import BenchScale
 from repro.bench.report import series_table, sparkline
-from repro.chaos import LEADER, FaultSchedule
+from repro.chaos import FaultSchedule
 from repro.sim.units import MS, SEC
 from repro.workloads import WORKLOADS
 

@@ -9,7 +9,6 @@ system's measured read-heavy throughput is in the same band — the
 property the paper used to call the provisioning "normalized".
 """
 
-import pytest
 
 from repro.bench import raft_spec, run_throughput, sift_spec
 from repro.bench.calibration import BenchScale

@@ -36,6 +36,7 @@ from typing import Dict, List, NamedTuple, Optional, Tuple
 from repro.net.fabric import Fabric
 from repro.net.host import Host
 from repro.net.rpc import Reply, RpcEndpoint
+from repro.obs import state as obs_state
 from repro.rdma.messaging import RdmaMessenger
 from repro.rdma.nic import Rnic
 from repro.sim.engine import Event, ProcessKilled
@@ -314,10 +315,14 @@ class EPaxosReplica:
             return
         if not state.deps_changed and len(state.replies) >= self.config.fast_quorum:
             self.stats["fast_path"] += 1
+            if obs_state.REGISTRY is not None:
+                obs_state.REGISTRY.counter("epaxos.commits", path="fast").inc()
             self._commit(batch_id, state)
         elif state.deps_changed and len(state.replies) >= self.config.nodes:
             # Slow path: all PreAccept replies in, run the Accept round.
             self.stats["slow_path"] += 1
+            if obs_state.REGISTRY is not None:
+                obs_state.REGISTRY.counter("epaxos.commits", path="slow").inc()
             self._run_accept(batch_id, state)
 
     def _run_accept(self, batch_id: int, state: _BatchState) -> None:
@@ -344,6 +349,13 @@ class EPaxosReplica:
     def _commit(self, batch_id: int, state: _BatchState) -> None:
         del self._inflight[batch_id]
         state.done.try_trigger(None)
+        if obs_state.TRACER is not None:
+            obs_state.TRACER.instant(
+                "epaxos.commit",
+                self.sim.now,
+                replica=self.index,
+                commands=len(state.commands),
+            )
         # Async commit notification to peers (off the client's latency path).
         message = _Commit(self.index, batch_id, state.commands)
         size = CTRL_WIRE_BYTES + CMD_WIRE_BYTES * len(state.commands)

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 from repro.net.fabric import Fabric
 from repro.net.host import Host
 from repro.net.rpc import Reply, RpcEndpoint
+from repro.obs import state as obs_state
 from repro.rdma.messaging import RdmaMessenger
 from repro.rdma.nic import Rnic
 from repro.sim.engine import Event, ProcessKilled
@@ -286,6 +287,10 @@ class RaftNode:
             raise
 
     def _send(self, to: int, message: Any, size: int) -> None:
+        if obs_state.REGISTRY is not None:
+            obs_state.REGISTRY.counter(
+                "raft.messages", kind=type(message).__name__.lstrip("_")
+            ).inc()
         self.messenger.send(self.cluster.nodes[to].messenger, message, size)
 
     # -- AppendEntries ---------------------------------------------------------
@@ -410,6 +415,12 @@ class RaftNode:
     def _start_election(self) -> None:
         self.term += 1
         self.role = "candidate"
+        if obs_state.REGISTRY is not None:
+            obs_state.REGISTRY.counter("raft.elections_started").inc()
+        if obs_state.TRACER is not None:
+            obs_state.TRACER.instant(
+                "raft.election", self.sim.now, node=self.index, term=self.term
+            )
         self.voted_for = self.index
         self._votes = {self.index}
         request = _RequestVote(self.term, self.index, self.last_index, self._last_term())
@@ -445,6 +456,12 @@ class RaftNode:
         self.role = "leader"
         self.leader_hint = self.index
         self.stats["elections_won"] += 1
+        if obs_state.REGISTRY is not None:
+            obs_state.REGISTRY.counter("raft.elections_won").inc()
+        if obs_state.TRACER is not None:
+            obs_state.TRACER.instant(
+                "raft.leader", self.sim.now, node=self.index, term=self.term
+            )
         # Raft's no-op entry: a leader may only count replicas for entries
         # of its own term, so committing this no-op is what (transitively)
         # commits every surviving entry from earlier terms.

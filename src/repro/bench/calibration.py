@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.sim.units import MS
 
-__all__ = ["BenchScale", "DEFAULT_SCALE"]
+__all__ = ["BenchScale", "DEFAULT_SCALE", "SMOKE_SCALE"]
 
 
 def _env_int(name: str, default: int) -> int:
@@ -61,6 +61,21 @@ class BenchScale:
 
 
 DEFAULT_SCALE = BenchScale()
+
+#: Pinned scale for the CI ``bench-smoke`` job and the committed
+#: baselines under ``benchmarks/baselines/``.  Every field is written
+#: out explicitly — no environment lookups — so the artifacts it
+#: produces are byte-identical on any host running the same code.
+SMOKE_SCALE = BenchScale(
+    keys=4_096,
+    warmup_us=20 * MS,
+    measure_us=40 * MS,
+    clients=12,
+    value_bytes=992,
+    zipf_theta=0.99,
+    wal_entries=8_192,
+    kv_wal_entries=16_384,
+)
 
 # ---------------------------------------------------------------------------
 # The paper's normalized-performance targets (§6.4.1, Table 2), expressed as

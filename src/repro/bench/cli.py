@@ -3,7 +3,15 @@
 ``python -m repro.bench.cli <experiment>`` regenerates one of the
 paper's tables/figures (or an ablation) and prints it, without going
 through pytest.  Scale is controlled by the same ``REPRO_BENCH_*``
-environment variables the benchmarks use.
+environment variables the benchmarks use, or pinned with ``--smoke``.
+
+Every figure command also writes a versioned ``BENCH_<figure>.json``
+artifact (see :mod:`repro.obs.artifact`) into ``--out-dir``: the
+simulated numbers, a metrics-registry snapshot collected during the
+run, the seeds, the parameters, the git SHA and the wall clock.  CI's
+``bench-smoke`` job regenerates fig5/fig6/fig11 at ``--smoke`` scale
+and diffs them against ``benchmarks/baselines/`` with
+:mod:`repro.obs.compare`.
 
 Examples::
 
@@ -11,24 +19,35 @@ Examples::
     python -m repro.bench.cli fig9 fig10
     REPRO_BENCH_MEASURE_MS=300 python -m repro.bench.cli fig5
     python -m repro.bench.cli throughput --system sift-ec --workload mixed
+    python -m repro.bench.cli fig5 fig6 fig11 --smoke --out-dir bench_artifacts
+    python -m repro.bench.cli --refresh-baselines
 """
 
 from __future__ import annotations
 
+import os
 import argparse
 import sys
+import time
 
 from repro.baselines import characteristics_table
-from repro.bench.calibration import BenchScale
-from repro.bench.report import bar_table, kv_table, series_table
-from repro.bench.runner import run_throughput
+from repro.bench.calibration import SMOKE_SCALE, BenchScale
+from repro.bench.report import bar_table, kv_table, series_table, sparkline
+from repro.bench.runner import run_latency, run_throughput, run_timeline
 from repro.bench.systems import epaxos_spec, raft_spec, sift_spec
+from repro.chaos import FaultSchedule
 from repro.cluster import relative_costs
 from repro.cluster.backups import sweep_backup_pool
 from repro.cluster.provision import TARGET_THROUGHPUT, machine_table
+from repro.obs.artifact import write_artifact
+from repro.obs.registry import MetricsRegistry, collecting
+from repro.sim.units import MS, SEC
 from repro.workloads import WORKLOADS
 
 __all__ = ["main"]
+
+#: Figures the ``bench-smoke`` CI job pins against committed baselines.
+BASELINE_FIGURES = ("fig5", "fig6", "fig11")
 
 
 def _spec(name: str, scale: BenchScale, cores=None):
@@ -43,34 +62,117 @@ def _spec(name: str, scale: BenchScale, cores=None):
     raise SystemExit(f"unknown system: {name}")
 
 
-def cmd_table1(_args, _scale) -> None:
+def _scale_params(scale: BenchScale) -> dict:
+    """The scale knobs, recorded verbatim into each artifact."""
+    return {
+        "keys": scale.keys,
+        "warmup_us": scale.warmup_us,
+        "measure_us": scale.measure_us,
+        "clients": scale.clients,
+        "value_bytes": scale.value_bytes,
+        "zipf_theta": scale.zipf_theta,
+        "wal_entries": scale.wal_entries,
+        "kv_wal_entries": scale.kv_wal_entries,
+    }
+
+
+# Each cmd_* returns None (no artifact: static tables) or a dict
+# ``{"simulated": ..., "params": ...}``; main() adds the registry
+# snapshot, seed, wall clock and scale, then writes BENCH_<figure>.json.
+
+
+def cmd_table1(_args, _scale):
     print(characteristics_table())
+    return None
 
 
-def cmd_table2(_args, _scale) -> None:
+def cmd_table2(_args, _scale):
     rows = []
     for f in (1, 2):
         rows.append((f"-- F={f} (target {TARGET_THROUGHPUT[f]:,} ops/s) --", ""))
         for name, spec in machine_table(f):
             rows.append((name, f"{spec.cores} cores, {spec.memory_gb} GB"))
     print(kv_table("Table 2: normalized machine configurations", rows))
+    return None
 
 
-def cmd_fig5(_args, scale) -> None:
+def cmd_fig5(args, scale):
     mixes = list(WORKLOADS)
     rows = {}
+    simulated = {}
     for name in ("epaxos", "sift-ec", "sift", "raft-r"):
         spec = _spec(name, scale, cores=12)
         clients = scale.clients * 3 if name == "epaxos" else scale.clients
-        rows[name] = [
-            run_throughput(spec, WORKLOADS[mix], n_clients=clients, scale=scale).ops_per_sec
-            for mix in mixes
-        ]
+        points = {}
+        for mix in mixes:
+            result = run_throughput(
+                spec, WORKLOADS[mix], n_clients=clients, scale=scale,
+                seed=args.seed,
+            )
+            points[mix] = {
+                "ops_per_sec": result.ops_per_sec,
+                "completed": result.completed,
+                "errors": result.errors,
+            }
+        simulated[name] = points
+        rows[name] = [points[mix]["ops_per_sec"] for mix in mixes]
         print(f"  [{name}] done", file=sys.stderr)
     print(bar_table("Figure 5: throughput by workload (F=1)", mixes, rows))
+    return {
+        "simulated": simulated,
+        "params": {"cores": 12, "workloads": mixes},
+    }
 
 
-def cmd_fig8(_args, _scale) -> None:
+def cmd_fig6(args, scale):
+    # ~90% of the default 48-client saturation point; scaled down with
+    # the pinned smoke scale so the run stays a few hundred ms.
+    high_load_clients = 8 if args.smoke else 28
+    simulated = {}
+    rows = []
+    for name in ("raft-r", "sift", "sift-ec", "epaxos"):
+        spec = _spec(name, scale, cores=12)
+        per_load = {}
+        for load, clients in (("low", 1), ("high", high_load_clients)):
+            r = run_latency(
+                spec, WORKLOADS["mixed"], clients, scale=scale, seed=args.seed
+            )
+            per_load[load] = {
+                "clients": clients,
+                "read_p50": r.read_p50,
+                "read_p95": r.read_p95,
+                "write_p50": r.write_p50,
+                "write_p95": r.write_p95,
+                "ops_per_sec": r.ops_per_sec,
+            }
+            rows.append(
+                (
+                    f"{name}/{load}",
+                    [
+                        (1, r.read_p50 or 0.0),
+                        (2, r.read_p95 or 0.0),
+                        (3, r.write_p50 or 0.0),
+                        (4, r.write_p95 or 0.0),
+                    ],
+                )
+            )
+        simulated[name] = per_load
+        print(f"  [{name}] done", file=sys.stderr)
+    print(
+        series_table(
+            "Figure 6: latency (us) at 1 client and ~90% load",
+            "metric (1=read p50, 2=read p95, 3=write p50, 4=write p95)",
+            "microseconds",
+            dict(rows),
+        )
+    )
+    return {
+        "simulated": simulated,
+        "params": {"cores": 12, "high_load_clients": high_load_clients},
+    }
+
+
+def cmd_fig8(_args, _scale):
     groups = [10, 100, 500, 1000, 2000, 3000]
     backups = [0, 2, 4, 6, 8, 12, 16, 20]
     sweep = sweep_backup_pool(groups, backups, repetitions=10)
@@ -79,46 +181,168 @@ def cmd_fig8(_args, _scale) -> None:
         for g, row in sweep.items()
     }
     print(series_table("Figure 8: recovery time per fault", "backups", "s/fault", series))
+    return {
+        "simulated": {
+            name: [[b, v] for b, v in points] for name, points in series.items()
+        },
+        "params": {"groups": groups, "backups": backups, "repetitions": 10},
+    }
 
 
-def cmd_fig9(_args, _scale) -> None:
+def cmd_fig9(_args, _scale):
     costs = {p: relative_costs(p, 1) for p in ("aws", "gcp")}
     labels = list(costs["aws"])
     print(bar_table(
         "Figure 9: cost vs Raft-R (%), F=1", labels,
         {p: [costs[p][l] for l in labels] for p in costs}, unit="%",
     ))
+    return {"simulated": costs, "params": {"f": 1}}
 
 
-def cmd_fig10(_args, _scale) -> None:
+def cmd_fig10(_args, _scale):
     costs = {p: relative_costs(p, 2) for p in ("aws", "gcp")}
     labels = list(costs["aws"])
     print(bar_table(
         "Figure 10: cost vs Raft-R (%), F=2", labels,
         {p: [costs[p][l] for l in labels] for p in costs}, unit="%",
     ))
+    return {"simulated": costs, "params": {"f": 2}}
 
 
-def cmd_throughput(args, scale) -> None:
+def cmd_fig11(args, scale):
+    # Full-size timings match benchmarks/test_fig11_memnode_failure.py;
+    # --smoke compresses the schedule so CI sees the same three phases
+    # (dip, copy-back contention, recovery) in ~1.5 simulated seconds.
+    if args.smoke:
+        kill_at, restart_at, duration, clients = (
+            0.3 * SEC, 0.45 * SEC, 1.5 * SEC, 6,
+        )
+    else:
+        kill_at, restart_at, duration, clients = (
+            0.6 * SEC, 0.9 * SEC, 3.0 * SEC, 10,
+        )
+    spec = sift_spec(cores=12, scale=scale)
+    recovered_at = []
+
+    def watch_recovery(group):
+        def watch():
+            coordinator = group.serving_coordinator()
+            while coordinator.repmem.states[2] != "live":
+                yield group.fabric.sim.timeout(10 * MS)
+            recovered_at.append(group.fabric.sim.now)
+
+        group.fabric.sim.spawn(watch(), name="watch-recovery")
+
+    schedule = (
+        FaultSchedule()
+        .crash_memory_node(kill_at, 2)
+        .restart_memory_node(restart_at, 2)
+        .probe(restart_at, watch_recovery, "watch recovery")
+    )
+    result = run_timeline(
+        spec,
+        WORKLOADS["read-heavy"],
+        clients,
+        duration,
+        events=schedule,
+        scale=scale,
+        seed=args.seed,
+    )
+    print(
+        series_table(
+            "Figure 11: read-heavy throughput during a memory node failure",
+            "seconds",
+            "ops/sec",
+            {"sift": result.series},
+        )
+    )
+    print("timeline:", sparkline([ops for _t, ops in result.series]))
+    recovery_s = (
+        (recovered_at[0] - result.base_us) / 1e6 if recovered_at else None
+    )
+    print("events:", result.events, "recovery completed:", bool(recovered_at))
+    return {
+        "simulated": {
+            "series": [[t, ops] for t, ops in result.series],
+            "events": [[t, label] for t, label in result.events],
+            "recovery_s": recovery_s,
+        },
+        "params": {
+            "cores": 12,
+            "clients": clients,
+            "kill_at_us": kill_at,
+            "restart_at_us": restart_at,
+            "duration_us": duration,
+            "workload": "read-heavy",
+        },
+    }
+
+
+def cmd_throughput(args, scale):
     spec = _spec(args.system, scale, cores=args.cores)
-    result = run_throughput(spec, WORKLOADS[args.workload], scale=scale)
+    result = run_throughput(
+        spec, WORKLOADS[args.workload], scale=scale, seed=args.seed
+    )
     print(kv_table(
         f"{args.system} / {args.workload}",
         [("throughput", f"{result.ops_per_sec:,.0f} ops/s"),
          ("completed", str(result.completed)),
          ("errors", str(result.errors))],
     ))
+    return {
+        "simulated": {
+            "ops_per_sec": result.ops_per_sec,
+            "completed": result.completed,
+            "errors": result.errors,
+        },
+        "params": {"system": args.system, "workload": args.workload,
+                   "cores": args.cores},
+    }
 
 
 COMMANDS = {
     "table1": cmd_table1,
     "table2": cmd_table2,
     "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
     "fig8": cmd_fig8,
     "fig9": cmd_fig9,
     "fig10": cmd_fig10,
+    "fig11": cmd_fig11,
     "throughput": cmd_throughput,
 }
+
+
+def _baselines_dir() -> str:
+    """``benchmarks/baselines/`` at the repo root, found from this file."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "benchmarks", "baselines")
+
+
+def _run_one(name: str, args, scale: BenchScale):
+    """Run one experiment under a fresh registry; write its artifact."""
+    command = COMMANDS[name]
+    registry = MetricsRegistry()
+    started = time.monotonic()
+    with collecting(registry):
+        payload = command(args, scale)
+    wall_clock_s = time.monotonic() - started
+    if payload is None or args.no_artifact:
+        return None
+    params = dict(payload.get("params") or {})
+    params["scale"] = _scale_params(scale)
+    path = write_artifact(
+        args.out_dir,
+        name,
+        payload["simulated"],
+        seeds=[args.seed],
+        params=params,
+        registry=registry,
+        wall_clock_s=wall_clock_s,
+    )
+    print(f"  wrote {path}", file=sys.stderr)
+    return path
 
 
 def main(argv=None) -> int:
@@ -127,21 +351,43 @@ def main(argv=None) -> int:
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
-        "experiments", nargs="+",
+        "experiments", nargs="*",
         help=f"one or more of: {', '.join(COMMANDS)} "
-             "(fig6/fig7/fig11/fig12 run via pytest benchmarks/)",
+             "(fig7/fig12 run via pytest benchmarks/)",
     )
     parser.add_argument("--system", default="sift",
                         choices=["sift", "sift-ec", "raft-r", "epaxos"])
     parser.add_argument("--workload", default="read-heavy", choices=list(WORKLOADS))
     parser.add_argument("--cores", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=1,
+                        help="experiment seed recorded in the artifact")
+    parser.add_argument("--smoke", action="store_true",
+                        help="pinned CI scale (ignores REPRO_BENCH_* env)")
+    parser.add_argument("--out-dir", default="bench_artifacts",
+                        help="directory for BENCH_<figure>.json artifacts")
+    parser.add_argument("--no-artifact", action="store_true",
+                        help="print figures only, write nothing")
+    parser.add_argument(
+        "--refresh-baselines", action="store_true",
+        help="regenerate benchmarks/baselines/ (fig5/fig6/fig11, smoke scale)",
+    )
     args = parser.parse_args(argv)
-    scale = BenchScale()
-    for experiment in args.experiments:
-        command = COMMANDS.get(experiment)
-        if command is None:
+
+    if args.refresh_baselines:
+        args.smoke = True
+        args.no_artifact = False
+        args.out_dir = _baselines_dir()
+        experiments = list(BASELINE_FIGURES)
+    else:
+        experiments = args.experiments
+        if not experiments:
+            parser.error("no experiments given")
+
+    scale = SMOKE_SCALE if args.smoke else BenchScale()
+    for experiment in experiments:
+        if experiment not in COMMANDS:
             parser.error(f"unknown experiment: {experiment}")
-        command(args, scale)
+        _run_one(experiment, args, scale)
         print()
     return 0
 

@@ -15,10 +15,16 @@ from repro.sim.units import MS
 __all__ = ["Metrics", "percentile"]
 
 
-def percentile(samples: List[float], p: float) -> float:
-    """The *p*-th percentile (0..100) by linear interpolation."""
+def percentile(samples: List[float], p: float, default: float = 0.0) -> float:
+    """The *p*-th percentile (0..100) by linear interpolation.
+
+    An empty sample list returns *default* (0.0) instead of raising: a
+    100 ms timeline window that completes zero operations mid-failover
+    (Figs. 11-12 under aggressive chaos schedules) is a legitimate
+    observation, not an error.
+    """
     if not samples:
-        raise ValueError("no samples")
+        return default
     ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
@@ -96,8 +102,30 @@ class Metrics:
         return self.completed / elapsed_s if elapsed_s > 0 else 0.0
 
     def latency(self, op: str, p: float) -> float:
-        """Latency percentile in microseconds for one op type."""
+        """Latency percentile in microseconds for one op type.
+
+        0.0 when no operation of this type completed while measuring.
+        """
         return percentile(self.latencies.get(op, []), p)
+
+    def publish(self, registry, prefix: str = "bench") -> None:
+        """Push this collector's results into a metrics registry.
+
+        Gauges only — the collector is the source of truth; the registry
+        snapshot is what lands in the ``BENCH_*.json`` artifact.
+        """
+        registry.gauge(f"{prefix}.completed").set(self.completed)
+        registry.gauge(f"{prefix}.errors").set(self.errors)
+        if self.measure_end is not None:
+            registry.gauge(f"{prefix}.throughput_ops").set(self.throughput())
+        for op in sorted(self.latencies):
+            samples = self.latencies[op]
+            registry.gauge(f"{prefix}.latency_us", op=op, p="50").set(
+                percentile(samples, 50)
+            )
+            registry.gauge(f"{prefix}.latency_us", op=op, p="95").set(
+                percentile(samples, 95)
+            )
 
     def timeline(self, start_us: float, end_us: float) -> List[Tuple[float, float]]:
         """(window start seconds, ops/sec) series for Figs. 11-12."""

@@ -21,6 +21,8 @@ from repro.bench.calibration import DEFAULT_SCALE, BenchScale
 from repro.bench.metrics import Metrics
 from repro.bench.systems import SystemSpec
 from repro.net.fabric import Fabric
+from repro.obs import state as obs_state
+from repro.obs.publish import publish_run
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.units import SEC
@@ -112,6 +114,9 @@ def _drive(
     sim.run(until=sim.now + scale.measure_us)
     metrics.end(sim.now)
     pool.stop()
+    if obs_state.REGISTRY is not None:
+        metrics.publish(obs_state.REGISTRY)
+        publish_run(obs_state.REGISTRY, fabric, cluster)
     return metrics
 
 
@@ -206,6 +211,9 @@ def run_timeline(
     sim.run(until=base + duration_us)
     metrics.end(sim.now)
     pool.stop()
+    if obs_state.REGISTRY is not None:
+        metrics.publish(obs_state.REGISTRY)
+        publish_run(obs_state.REGISTRY, fabric, cluster)
     series = metrics.timeline(base, sim.now)
     rebased = [(t - base / 1e6, ops) for t, ops in series]
     return TimelineResult(

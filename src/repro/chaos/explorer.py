@@ -12,7 +12,7 @@ one is noise).
 from __future__ import annotations
 
 import random
-from typing import Callable, List, NamedTuple, Optional, Tuple
+from typing import Callable, List, NamedTuple, Optional
 
 from repro.chaos.runner import ChaosError, ChaosRunner
 from repro.chaos.schedule import FOLLOWER, LEADER, FaultSchedule

@@ -19,7 +19,7 @@ Three families, matching the guarantees the paper argues for (§3.2):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.bench.lincheck import History, check_key_history
 from repro.sim.units import MS

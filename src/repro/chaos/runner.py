@@ -21,7 +21,7 @@ the injection trace, so any run replays from one integer.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+from typing import Callable, List, NamedTuple, Optional, Tuple
 
 from repro.bench.lincheck import History, Op
 from repro.chaos.adapters import ChaosController, adapter_for
@@ -34,6 +34,8 @@ from repro.chaos.invariants import (
 from repro.chaos.schedule import FaultSchedule
 from repro.kv.client import KvClient, KvRequestFailed
 from repro.net.fabric import Fabric
+from repro.obs import state as obs_state
+from repro.obs.publish import publish_run
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.units import MS, SEC
@@ -270,7 +272,7 @@ class ChaosRunner:
         except InvariantViolation as exc:
             self._fail(str(exc), trace)
 
-        return ChaosResult(
+        result = ChaosResult(
             seed=self.seed,
             trace=tuple(trace),
             ops=len(self.history.ops),
@@ -279,3 +281,14 @@ class ChaosRunner:
             leader_terms=tuple(sorted(monitor.by_term.items())),
             max_simultaneous_leaders=monitor.max_simultaneous,
         )
+        if obs_state.REGISTRY is not None:
+            registry = obs_state.REGISTRY
+            registry.gauge("chaos.ops").set(result.ops)
+            registry.gauge("chaos.acked_puts").set(result.acked_puts)
+            registry.gauge("chaos.failed_ops").set(result.failed_ops)
+            registry.gauge("chaos.injections").set(len(result.trace))
+            registry.gauge("chaos.max_simultaneous_leaders").set(
+                result.max_simultaneous_leaders
+            )
+            publish_run(registry, self.fabric, self.cluster)
+        return result

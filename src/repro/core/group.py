@@ -16,6 +16,7 @@ from repro.core.config import SiftConfig
 from repro.core.cpu_node import CpuNode
 from repro.core.errors import GroupUnavailable
 from repro.net.fabric import Fabric
+from repro.obs import state as obs_state
 from repro.sim.units import MS
 from repro.storage.memory_node import MemoryNode
 
@@ -104,6 +105,13 @@ class SiftGroup:
         while True:
             coordinator = self.serving_coordinator()
             if coordinator is not None:
+                if obs_state.TRACER is not None:
+                    obs_state.TRACER.instant(
+                        "group.serving",
+                        self.fabric.sim.now,
+                        group=self.name,
+                        coordinator=coordinator.host.name,
+                    )
                 return coordinator
             if deadline is not None and self.fabric.sim.now >= deadline:
                 raise GroupUnavailable(
@@ -120,6 +128,13 @@ class SiftGroup:
         """Kill the current coordinator (no-op when there is none)."""
         coordinator = self.coordinator()
         if coordinator is not None:
+            if obs_state.TRACER is not None:
+                obs_state.TRACER.instant(
+                    "group.crash_coordinator",
+                    self.fabric.sim.now,
+                    group=self.name,
+                    coordinator=coordinator.host.name,
+                )
             coordinator.crash()
         return coordinator
 

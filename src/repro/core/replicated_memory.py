@@ -39,6 +39,7 @@ from repro.core.locks import BlockLockTable, LockMode
 from repro.core.membership import MEMBERSHIP_ADDR, Membership
 from repro.ec.reed_solomon import CauchyRSCode
 from repro.net.host import Host
+from repro.obs import state as obs_state
 from repro.rdma.errors import RdmaConnectionRevoked, RdmaError
 from repro.rdma.nic import Rnic
 from repro.rdma.qp import QueuePair
@@ -367,6 +368,18 @@ class ReplicatedMemory:
         pending.chunks = chunks
         self._log[index] = pending
         self.stats["entries_logged"] += 1
+        if obs_state.REGISTRY is not None:
+            obs_state.REGISTRY.counter("repmem.entries_logged").inc()
+        if obs_state.TRACER is not None:
+            span = obs_state.TRACER.span(
+                "repmem.append", self.sim.now, index=index, addr=addr, bytes=len(data)
+            )
+
+            def _finish(event: Event, _span=span) -> None:
+                _span.annotate(committed=event.ok)
+                _span.finish(self.sim.now)
+
+            pending.commit_event.add_callback(_finish)
 
         image = self.codec.encode(entry)[: HEADER_BYTES + len(data)]
         offset = self.wal_layout.slot_offset(index)
@@ -433,6 +446,8 @@ class ReplicatedMemory:
             payload = entry.data
         self._inflight[n] += 1
         self.stats["applies_posted"] += 1
+        if obs_state.REGISTRY is not None:
+            obs_state.REGISTRY.counter("repmem.applies_posted").inc()
         event = self.qps[n].write(REPMEM_REGION, offset, payload)
         event.add_callback(lambda ev: self._on_apply_done(n, index, pending, ev))
         pending.note_submitted(n)
@@ -629,6 +644,10 @@ class ReplicatedMemory:
         if self.states.get(n) == NodeState.DEAD:
             return
         self.states[n] = NodeState.DEAD
+        if obs_state.REGISTRY is not None:
+            obs_state.REGISTRY.counter("repmem.nodes_marked_dead").inc()
+        if obs_state.TRACER is not None:
+            obs_state.TRACER.instant("repmem.node_dead", self.sim.now, node=n)
         qp = self.qps.pop(n, None)
         if qp is not None:
             qp.close()
@@ -678,6 +697,8 @@ class ReplicatedMemory:
         """
         self.qps[n] = qp
         self.states[n] = NodeState.RECOVERING
+        if obs_state.TRACER is not None:
+            obs_state.TRACER.instant("repmem.recovery_begin", self.sim.now, node=n)
         start = self.next_index
         self._applied[n] = start - 1
         self._next_apply[n] = start
@@ -689,6 +710,12 @@ class ReplicatedMemory:
         """Promote a fully copied node to LIVE (membership commit follows)."""
         if self.states.get(n) == NodeState.RECOVERING:
             self.states[n] = NodeState.LIVE
+            if obs_state.REGISTRY is not None:
+                obs_state.REGISTRY.counter("repmem.nodes_recovered").inc()
+            if obs_state.TRACER is not None:
+                obs_state.TRACER.instant(
+                    "repmem.recovery_finish", self.sim.now, node=n
+                )
 
     def commit_membership(self, transform: Callable[[Membership], Membership]):
         """Process: atomically transform and log the membership view.

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, FrozenSet, List, NamedTuple, Optional, S
 from repro.net.errors import HostDown, Unreachable
 from repro.net.host import Host
 from repro.net.latency import LatencyModel, LinearLatency
+from repro.obs import state as obs_state
 from repro.sim.engine import Event, Simulator
 from repro.sim.rng import RngStreams
 
@@ -187,6 +188,18 @@ class Fabric:
         delay = model.sample(self.rng.stream(stream), size_bytes)
         self.messages_sent += 1
         self.bytes_sent += size_bytes
+        if obs_state.REGISTRY is not None:
+            obs_state.REGISTRY.counter("net.messages", stream=stream).inc()
+            obs_state.REGISTRY.counter("net.bytes", stream=stream).inc(size_bytes)
+        if obs_state.TRACER is not None:
+            obs_state.TRACER.instant(
+                "net.send",
+                self.sim.now,
+                src=src.name,
+                dst=dst.name,
+                bytes=size_bytes,
+                stream=stream,
+            )
         verdict = (
             self._intercept(src.name, dst.name, size_bytes, stream)
             if self._interceptors
@@ -196,6 +209,8 @@ class Fabric:
             # The sender believes the send succeeded; the message is lost
             # in flight (silent, exactly like an in-flight crash).
             self.messages_dropped += 1
+            if obs_state.REGISTRY is not None:
+                obs_state.REGISTRY.counter("net.dropped", stream=stream).inc()
             return True
         delay += verdict.extra_delay_us
         dst_incarnation = dst.incarnation

@@ -20,6 +20,7 @@ from repro.net.errors import RpcTimeout, Unreachable
 from repro.net.fabric import Fabric
 from repro.net.host import Host
 from repro.net.latency import LatencyModel, LinearLatency
+from repro.obs import state as obs_state
 from repro.sim.engine import Event
 
 __all__ = ["RpcEndpoint", "RpcClient", "Reply", "DEFAULT_RPC_LATENCY"]
@@ -125,6 +126,26 @@ class RpcClient:
         """
         done = Event(self.host.sim)
         server = endpoint.host
+        sim = self.host.sim
+        if obs_state.REGISTRY is not None:
+            obs_state.REGISTRY.counter("rpc.calls", method=method).inc()
+            obs_state.REGISTRY.counter("rpc.bytes", dir="tx").inc(
+                self.request_overhead_bytes + payload_bytes
+            )
+        if obs_state.TRACER is not None:
+            span = obs_state.TRACER.span(
+                f"rpc.{method}",
+                sim.now,
+                src=self.host.name,
+                dst=server.name,
+                bytes=self.request_overhead_bytes + payload_bytes,
+            )
+
+            def _finish(event: Event, _span=span) -> None:
+                _span.annotate(ok=event.ok)
+                _span.finish(sim.now)
+
+            done.add_callback(_finish)
 
         def respond(value: Any, size_bytes: int) -> None:
             self.fabric.deliver(

@@ -1,0 +1,213 @@
+"""Counters, gauges, and histograms with a labelled registry.
+
+The registry is the machine-readable side of a run: verbs issued by
+type, bytes on the wire, core-microseconds burned per node, RPC vs
+one-sided ratios, cache hit rates.  Both the benchmark harness
+(:mod:`repro.bench`) and the chaos runner (:mod:`repro.chaos.runner`)
+publish into it, and :mod:`repro.obs.artifact` embeds a snapshot in
+every ``BENCH_*.json``.
+
+Like tracing, collection is off by default and costs one ``is not
+None`` check per instrumented site when disabled.  All values derive
+from virtual time and seeded RNG, so a snapshot is deterministic in
+the experiment seed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs import state
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_registry",
+    "set_registry",
+    "collecting",
+]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> str:
+    """Canonical series key: ``name{k=v,...}`` with sorted label names."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.key} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """A sample distribution summarised as count/sum/min/max/percentiles.
+
+    Samples are kept exactly (benchmark runs are bounded); the summary
+    computes percentiles by the same linear interpolation as
+    :func:`repro.bench.metrics.percentile`.
+    """
+
+    __slots__ = ("key", "samples")
+
+    PERCENTILES = (50.0, 95.0, 99.0)
+
+    def __init__(self, key: str):
+        self.key = key
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """The *p*-th percentile, 0.0 when no samples were recorded."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def summary(self) -> Dict[str, float]:
+        """The JSON-friendly digest embedded in artifacts."""
+        out: Dict[str, float] = {"count": float(self.count), "sum": self.total}
+        if self.samples:
+            out["min"] = min(self.samples)
+            out["max"] = max(self.samples)
+        for p in self.PERCENTILES:
+            out[f"p{p:g}"] = self.percentile(p)
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled counters, gauges, histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- series access ---------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter for (name, labels), created on first use."""
+        key = _key(name, labels)
+        series = self._counters.get(key)
+        if series is None:
+            series = self._counters[key] = Counter(key)
+        return series
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge for (name, labels), created on first use."""
+        key = _key(name, labels)
+        series = self._gauges.get(key)
+        if series is None:
+            series = self._gauges[key] = Gauge(key)
+        return series
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """The histogram for (name, labels), created on first use."""
+        key = _key(name, labels)
+        series = self._histograms.get(key)
+        if series is None:
+            series = self._histograms[key] = Histogram(key)
+        return series
+
+    # -- queries ---------------------------------------------------------
+
+    def value(self, name: str, **labels: Any) -> Optional[float]:
+        """The current value of a counter or gauge, or None if absent."""
+        key = _key(name, labels)
+        if key in self._counters:
+            return self._counters[key].value
+        if key in self._gauges:
+            return self._gauges[key].value
+        return None
+
+    def sum_counters(self, prefix: str) -> float:
+        """Total across every counter whose key starts with *prefix*."""
+        return sum(c.value for k, c in self._counters.items() if k.startswith(prefix))
+
+    def items(self) -> List[Tuple[str, float]]:
+        """(key, value) for every counter and gauge, sorted by key."""
+        pairs = [(k, c.value) for k, c in self._counters.items()]
+        pairs += [(k, g.value) for k, g in self._gauges.items()]
+        return sorted(pairs)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic JSON-friendly dump of every series."""
+        return {
+            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].summary() for k in sorted(self._histograms)
+            },
+        }
+
+
+# -- installation ---------------------------------------------------------
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    """The globally installed registry, or None when collection is off."""
+    return state.REGISTRY
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    """Install (or, with None, remove) the global registry; returns the old one."""
+    previous = state.REGISTRY
+    state.REGISTRY = registry
+    return previous
+
+
+@contextmanager
+def collecting(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Enable metric collection for a ``with`` block; restores the previous."""
+    active = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(active)
+    try:
+        yield active
+    finally:
+        set_registry(previous)

@@ -1,0 +1,35 @@
+"""Process-global observability state.
+
+Instrumentation points across the stack gate on the two module
+attributes below with a single ``is not None`` check, so a run with
+observability disabled pays one attribute load per instrumented site
+and draws no RNG, allocates nothing, and schedules nothing — the
+simulated schedule (and therefore every benchmark number) is identical
+to an un-instrumented build.  ``tests/test_obs_determinism.py`` pins
+this property against golden seed numbers.
+
+The attributes are mutated only through :func:`repro.obs.set_tracer` /
+:func:`repro.obs.set_registry` (or the ``observe()`` context manager),
+never written by instrumented modules.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.trace import Tracer
+
+__all__ = ["TRACER", "REGISTRY", "enabled"]
+
+TRACER: Optional["Tracer"] = None
+"""The active span/event tracer, or None when tracing is off (default)."""
+
+REGISTRY: Optional["MetricsRegistry"] = None
+"""The active metrics registry, or None when collection is off (default)."""
+
+
+def enabled() -> bool:
+    """Whether any observability sink is currently installed."""
+    return TRACER is not None or REGISTRY is not None

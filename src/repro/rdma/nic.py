@@ -20,6 +20,7 @@ from repro.net.latency import (
     LatencyModel,
     LinearLatency,
 )
+from repro.obs import state as obs_state
 from repro.rdma.errors import RdmaError, RdmaTimeout
 from repro.sim.cpu import CpuPool
 from repro.sim.engine import Event
@@ -115,6 +116,7 @@ class Rnic:
         response_bytes: int,
         apply_remote: Callable[[], object],
         timeout_us: Optional[float] = None,
+        verb: str = "verb",
     ) -> Event:
         """Issue one verb: serialise, propagate, apply remotely, ack back.
 
@@ -122,6 +124,7 @@ class Rnic:
         and returns the verb result; raising :class:`RdmaError` there turns
         the ack into an error completion.  The returned event triggers with
         the result or fails with the error / :class:`RdmaTimeout`.
+        *verb* labels the transfer for observability (read / write / cas).
         """
         sim = self.host.sim
         done = Event(sim)
@@ -133,12 +136,37 @@ class Rnic:
             ),
         )
         self.verbs_issued += 1
+        if obs_state.REGISTRY is not None:
+            registry = obs_state.REGISTRY
+            registry.counter("rdma.verbs", type=verb).inc()
+            registry.counter("rdma.bytes", dir="tx").inc(request_bytes)
+            registry.counter("rdma.bytes", dir="rx").inc(response_bytes)
+        span = None
+        if obs_state.TRACER is not None:
+            span = obs_state.TRACER.span(
+                f"rdma.{verb}",
+                sim.now,
+                src=self.host.name,
+                dst=target.name,
+                req_bytes=request_bytes,
+                resp_bytes=response_bytes,
+            )
+
+            def _finish(event: Event, _span=span) -> None:
+                _span.annotate(ok=event.ok)
+                _span.finish(sim.now)
+
+            done.add_callback(_finish)
 
         def after_serialise(_event: Event) -> None:
             if not self.host.alive:
                 return  # the requester died with the op still in its tx queue
+            if span is not None:
+                span.event("nic.serialised", sim.now)
             if not done.settled:
-                self._propagate(target, request_bytes, response_bytes, apply_remote, done)
+                self._propagate(
+                    target, request_bytes, response_bytes, apply_remote, done, span
+                )
 
         serialise_cost = request_bytes / self.bytes_per_us + self.verb_overhead_us
         self._txq.execute(serialise_cost).add_callback(after_serialise)
@@ -151,7 +179,10 @@ class Rnic:
         response_bytes: int,
         apply_remote: Callable[[], object],
         done: Event,
+        span=None,
     ) -> None:
+        sim = self.host.sim
+
         def arrive() -> None:
             try:
                 result = apply_remote()
@@ -159,8 +190,12 @@ class Rnic:
                 # Bind the exception eagerly: Python clears the except-clause
                 # variable when the block exits, before the ack fires.
                 error = exc
+                if span is not None:
+                    span.event("remote.error", sim.now, error=type(error).__name__)
                 self._ack(target, 0, lambda: done.try_fail(error))
                 return
+            if span is not None:
+                span.event("remote.applied", sim.now)
             self._ack(target, response_bytes, lambda: done.try_trigger(result))
 
         # Unreachable or in-flight loss is silent: the timeout fires.

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from enum import Enum
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.rdma.errors import RdmaConnectionRevoked, RdmaError
 from repro.rdma.listener import RdmaListener
@@ -107,6 +107,7 @@ class QueuePair:
             request_bytes=ACK_WIRE_BYTES,
             response_bytes=length,
             apply=lambda region: region.read(offset, length),
+            verb="read",
         )
 
     def write(self, region_name: str, offset: int, data: bytes) -> Event:
@@ -117,6 +118,7 @@ class QueuePair:
             request_bytes=len(payload),
             response_bytes=ACK_WIRE_BYTES,
             apply=lambda region: region.write(offset, payload),
+            verb="write",
         )
 
     def cas(self, region_name: str, offset: int, expected: int, new: int) -> Event:
@@ -126,6 +128,7 @@ class QueuePair:
             request_bytes=CAS_WIRE_BYTES,
             response_bytes=ACK_WIRE_BYTES,
             apply=lambda region: region.compare_and_swap(offset, expected, new),
+            verb="cas",
         )
 
     def read_word(self, region_name: str, offset: int) -> Event:
@@ -135,11 +138,19 @@ class QueuePair:
             request_bytes=ACK_WIRE_BYTES,
             response_bytes=8,
             apply=lambda region: region.read_word(offset),
+            verb="read_word",
         )
 
     # -- mechanics ---------------------------------------------------------------
 
-    def _post(self, region_name: str, request_bytes: int, response_bytes: int, apply) -> Event:
+    def _post(
+        self,
+        region_name: str,
+        request_bytes: int,
+        response_bytes: int,
+        apply,
+        verb: str = "verb",
+    ) -> Event:
         if self.state is not QpState.CONNECTED:
             failed = Event(self.nic.host.sim)
             failed.fail(self._state_error())
@@ -161,7 +172,9 @@ class QueuePair:
             region = self.listener.lookup(region_name)
             return apply(region)
 
-        return self.nic.transfer(self.target, request_bytes, response_bytes, apply_remote)
+        return self.nic.transfer(
+            self.target, request_bytes, response_bytes, apply_remote, verb=verb
+        )
 
     def _state_error(self) -> RdmaError:
         if self.state is QpState.REVOKED:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Tuple
 
+from repro.obs import state as obs_state
 from repro.sim.engine import Event, SimulationError, Simulator
 
 __all__ = ["CpuPool"]
@@ -38,6 +39,16 @@ class CpuPool:
         callers can charge optional costs unconditionally.
         """
         done = Event(self.sim)
+        if obs_state.REGISTRY is not None and cost > 0.0:
+            obs_state.REGISTRY.counter("cpu.core_us", pool=self.name).inc(cost)
+        if obs_state.TRACER is not None and cost > 0.0:
+            obs_state.TRACER.instant(
+                "cpu.execute",
+                self.sim.now,
+                pool=self.name,
+                cost_us=cost,
+                queued=len(self._waiting),
+            )
         if cost <= 0.0:
             done.trigger(None)
             return done

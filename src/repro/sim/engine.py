@@ -13,6 +13,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
+from repro.obs import state as obs_state
+
 __all__ = [
     "Event",
     "Timeout",
@@ -258,6 +260,10 @@ class Process(Event):
         self._settled = True
         self._ok = False
         self._exc = exc
+        if obs_state.TRACER is not None:
+            obs_state.TRACER.instant(
+                "proc.crash", self.sim.now, process=self.name, error=type(exc).__name__
+            )
         had_waiters = bool(self._callbacks)
         self._dispatch()
         if not had_waiters:
@@ -399,7 +405,10 @@ class Simulator:
 
     def spawn(self, gen: ProcessGenerator, name: str = "") -> Process:
         """Start a new process from a generator."""
-        return Process(self, gen, name)
+        process = Process(self, gen, name)
+        if obs_state.TRACER is not None:
+            obs_state.TRACER.instant("proc.spawn", self._now, process=process.name)
+        return process
 
     # -- running -----------------------------------------------------------
 

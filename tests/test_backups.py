@@ -1,6 +1,5 @@
 """Tests for the live shared backup pool (§5.2)."""
 
-import pytest
 
 from repro.core import BackupPool, SiftGroup
 from repro.kv import KvClient, KvConfig, kv_app_factory

@@ -33,9 +33,21 @@ class TestPercentile:
         assert percentile([1.0, 2.0], 0) == 1.0
         assert percentile([1.0, 2.0], 100) == 2.0
 
-    def test_empty_raises(self):
-        with pytest.raises(ValueError):
-            percentile([], 50)
+    def test_empty_returns_default(self):
+        # A timeline window that completed zero ops (mid-failover under
+        # chaos) must report a defined value, not crash the report.
+        assert percentile([], 50) == 0.0
+        assert percentile([], 99, default=-1.0) == -1.0
+
+    def test_metrics_empty_window_latency(self):
+        from repro.bench.metrics import Metrics
+
+        metrics = Metrics()
+        metrics.begin(0.0)
+        metrics.end(100.0)
+        assert metrics.latency("read", 50) == 0.0
+        assert metrics.latency("write", 95) == 0.0
+        assert metrics.throughput() == 0.0
 
 
 class TestReport:

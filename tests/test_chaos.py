@@ -15,11 +15,11 @@ from repro.chaos import (
     random_schedule,
     shrink,
 )
-from repro.net.fabric import Fabric, Verdict
+from repro.net.fabric import Verdict
 from repro.net.latency import FixedLatency
 from repro.rdma.errors import RdmaTimeout
 from repro.rdma.nic import Rnic
-from repro.sim import MS, SEC, Simulator
+from repro.sim import MS, SEC
 from repro.testing import make_sim
 
 

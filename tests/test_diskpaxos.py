@@ -1,6 +1,5 @@
 """Tests for the Disk Paxos reference implementation."""
 
-import pytest
 
 from repro.baselines.diskpaxos import DiskPaxosInstance
 from repro.net import Fabric

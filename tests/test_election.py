@@ -1,6 +1,5 @@
 """Coordinator election tests (§3.2): safety and liveness scenarios."""
 
-import pytest
 
 from repro.core import Role
 from repro.core.membership import RESERVED_BYTES

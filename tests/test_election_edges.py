@@ -7,7 +7,6 @@ mid-election.  Sift delegates the equivalent races to memory-node CAS
 words; its simultaneous-campaign case rides along here for symmetry.
 """
 
-import pytest
 
 from repro.baselines.raft import RaftCluster, RaftConfig, _AppendEntries, _RequestVote
 from repro.sim import MS, SEC

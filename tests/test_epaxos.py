@@ -1,6 +1,5 @@
 """Tests for the EPaxos baseline (§6.3)."""
 
-import pytest
 
 from repro.baselines.epaxos import EPaxosCluster, EPaxosConfig
 from repro.kv.client import KvClient

@@ -1,6 +1,5 @@
 """Full-stack integration scenarios crossing several subsystems."""
 
-import pytest
 
 from repro.core.replicated_memory import NodeState
 from repro.kv import KvClient

@@ -1,6 +1,5 @@
 """Tests for the KV client's retry/failover behaviour."""
 
-import pytest
 
 from repro.core import SiftGroup
 from repro.kv import KvClient, KvConfig, kv_app_factory

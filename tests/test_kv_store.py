@@ -1,7 +1,6 @@
 """KV store tests (§4): data path, chains, recovery, and a model-based
 property test against a plain dict."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for the linearizability checker, plus a nemesis-style
 end-to-end consistency check of the Sift KV store under failover."""
 
-import pytest
 
 from repro.bench.lincheck import DELETE, GET, PUT, History, Op, check_history, check_key_history
 from repro.core import SiftGroup

@@ -16,7 +16,7 @@ from repro.net import (
     Unreachable,
 )
 from repro.net.rpc import Reply
-from repro.sim import MS, SEC, Simulator
+from repro.sim import MS, Simulator
 
 
 @pytest.fixture

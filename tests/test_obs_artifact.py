@@ -1,0 +1,169 @@
+"""Golden-file tests for the BENCH_*.json artifact schema and compare CLI."""
+
+import copy
+import glob
+import json
+import os
+
+import pytest
+
+from repro.obs.artifact import (
+    ARTIFACT_KIND,
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactError,
+    artifact_filename,
+    load_artifact,
+    make_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from repro.obs.compare import compare_artifacts, main as compare_main
+from repro.obs.registry import MetricsRegistry
+
+BASELINES = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "baselines",
+)
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("rdma.verbs", type="read").inc(10)
+    registry.gauge("bench.throughput_ops").set(1234.5)
+    registry.histogram("lat", op="read").observe(42.0)
+    return registry
+
+
+def _write(tmp_path, figure="figX", simulated=None):
+    return write_artifact(
+        str(tmp_path),
+        figure,
+        simulated if simulated is not None else {"ops_per_sec": 1000.0},
+        seeds=[1],
+        params={"clients": 4},
+        registry=_registry(),
+        wall_clock_s=1.5,
+    )
+
+
+class TestSchema:
+    def test_filename(self):
+        assert artifact_filename("fig5") == "BENCH_fig5.json"
+        with pytest.raises(ArtifactError):
+            artifact_filename("fig 5")
+        with pytest.raises(ArtifactError):
+            artifact_filename("")
+
+    def test_round_trip(self, tmp_path):
+        path = _write(tmp_path)
+        assert os.path.basename(path) == "BENCH_figX.json"
+        doc = load_artifact(path)
+        assert doc["kind"] == ARTIFACT_KIND
+        assert doc["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert doc["figure"] == "figX"
+        assert doc["seeds"] == [1]
+        assert doc["simulated"] == {"ops_per_sec": 1000.0}
+        assert doc["registry"]["counters"] == {"rdma.verbs{type=read}": 10.0}
+        assert doc["registry"]["histograms"]["lat{op=read}"]["count"] == 1.0
+        assert doc["host"]["wall_clock_s"] == 1.5
+
+    def test_canonical_encoding_is_stable(self, tmp_path):
+        a = _write(tmp_path / "a")
+        b = _write(tmp_path / "b")
+        doc_a = json.load(open(a))
+        doc_b = json.load(open(b))
+        # Everything but the volatile timestamp is byte-stable.
+        doc_a.pop("created_unix"), doc_b.pop("created_unix")
+        assert json.dumps(doc_a, sort_keys=True) == json.dumps(doc_b, sort_keys=True)
+
+    def test_validate_rejects_malformed(self):
+        good = make_artifact("f", {"x": 1}, seeds=[1])
+        validate_artifact(good)
+        for mutate in (
+            lambda d: d.pop("simulated"),
+            lambda d: d.__setitem__("kind", "something-else"),
+            lambda d: d.__setitem__("schema_version", 99),
+            lambda d: d.__setitem__("seeds", ["one"]),
+            lambda d: d.__setitem__("simulated", [1, 2]),
+            lambda d: d.__setitem__("figure", ""),
+        ):
+            doc = copy.deepcopy(good)
+            mutate(doc)
+            with pytest.raises(ArtifactError):
+                validate_artifact(doc)
+
+    def test_nan_is_rejected_at_write_time(self, tmp_path):
+        with pytest.raises(ValueError):
+            _write(tmp_path, simulated={"bad": float("nan")})
+
+    def test_committed_baselines_validate(self):
+        paths = sorted(glob.glob(os.path.join(BASELINES, "BENCH_*.json")))
+        assert len(paths) >= 3, "benchmarks/baselines/ must hold fig5/fig6/fig11"
+        for path in paths:
+            doc = load_artifact(path)  # raises on schema violation
+            assert doc["registry"] is not None
+            assert doc["simulated"], path
+
+
+class TestCompare:
+    def test_self_identity(self, tmp_path):
+        path = _write(tmp_path)
+        doc = load_artifact(path)
+        assert compare_artifacts(doc, doc) == []
+        assert compare_main([path, path]) == 0
+
+    def test_simulated_drift_detected(self, tmp_path):
+        path = _write(tmp_path)
+        doc = load_artifact(path)
+        drifted = copy.deepcopy(doc)
+        drifted["simulated"]["ops_per_sec"] += 0.0001
+        diffs = compare_artifacts(doc, drifted)
+        assert len(diffs) == 1 and "simulated.ops_per_sec" in diffs[0]
+
+    def test_registry_drift_detected(self, tmp_path):
+        doc = load_artifact(_write(tmp_path))
+        drifted = copy.deepcopy(doc)
+        drifted["registry"]["counters"]["rdma.verbs{type=read}"] = 11.0
+        assert compare_artifacts(doc, drifted)
+
+    def test_volatile_sections_ignored(self, tmp_path):
+        doc = load_artifact(_write(tmp_path))
+        other = copy.deepcopy(doc)
+        other["git_sha"] = "deadbeef"
+        other["created_unix"] = 0.0
+        other["host"]["platform"] = "somewhere-else"
+        assert compare_artifacts(doc, other) == []
+
+    def test_rel_tol_relaxes_numbers(self, tmp_path):
+        doc = load_artifact(_write(tmp_path))
+        drifted = copy.deepcopy(doc)
+        drifted["simulated"]["ops_per_sec"] *= 1.0005
+        assert compare_artifacts(doc, drifted)
+        assert compare_artifacts(doc, drifted, rel_tol=0.01) == []
+
+    def test_type_strictness(self):
+        a = make_artifact("f", {"flag": True}, seeds=[1])
+        b = make_artifact("f", {"flag": 1}, seeds=[1])
+        assert any("flag" in d for d in compare_artifacts(a, b))
+
+    def test_wall_clock_band(self, tmp_path):
+        doc = load_artifact(_write(tmp_path))
+        slow = copy.deepcopy(doc)
+        slow["host"]["wall_clock_s"] = doc["host"]["wall_clock_s"] * 10
+        # Ignored by default; enforced when a band is requested.
+        assert compare_artifacts(doc, slow) == []
+        assert compare_artifacts(doc, slow, wall_clock_band=2.0)
+        assert compare_artifacts(doc, slow, wall_clock_band=20.0) == []
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        path = _write(tmp_path)
+        doc = load_artifact(path)
+        doc["simulated"]["ops_per_sec"] = 999.0
+        bad = str(tmp_path / "BENCH_bad.json")
+        with open(bad, "w") as fh:
+            json.dump(doc, fh)
+        assert compare_main([path, bad]) == 1
+        assert "simulated.ops_per_sec" in capsys.readouterr().out
+        missing = str(tmp_path / "nope.json")
+        assert compare_main([path, missing]) == 2

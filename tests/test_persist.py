@@ -3,7 +3,6 @@
 import os
 import struct
 
-import pytest
 
 from repro.core import SiftGroup
 from repro.kv import KvClient, KvConfig, kv_app_factory

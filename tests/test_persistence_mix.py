@@ -1,6 +1,5 @@
 """Mixed volatile/persistent memory-node deployments (§3.5)."""
 
-import pytest
 
 from repro.core import SiftConfig, SiftGroup
 from repro.core.membership import RESERVED_BYTES

@@ -1,6 +1,5 @@
 """Tests for the Raft-R baseline (§6.3.1)."""
 
-import pytest
 
 from repro.baselines.raft import RaftCluster, RaftConfig
 from repro.kv.client import KvClient

@@ -15,7 +15,7 @@ from repro.rdma import (
     Rnic,
 )
 from repro.rdma.qp import QpState
-from repro.sim import MS, Simulator
+from repro.sim import Simulator
 
 
 @pytest.fixture

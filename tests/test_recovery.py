@@ -1,12 +1,10 @@
 """Recovery tests (§3.4): log recovery, node recovery, trust handling."""
 
-import pytest
 
 from repro.core import SiftConfig, SiftGroup
 from repro.core.membership import RESERVED_BYTES
-from repro.core.recovery import MemoryNodeRecoveryManager
 from repro.core.replicated_memory import NodeState
-from repro.net import Fabric, PartitionController
+from repro.net import Fabric
 from repro.sim import MS, SEC, Simulator
 from repro.storage.wal import WalCodec, WalEntry
 

@@ -5,7 +5,6 @@ data path: logged writes, multi-writes, direct windows, WAL flow
 control, node-death handling, and erasure-coded addressing.
 """
 
-import pytest
 
 from repro.core import SiftConfig, SiftGroup
 from repro.core.errors import InvalidAccess

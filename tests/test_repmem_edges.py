@@ -1,6 +1,5 @@
 """Edge cases of the replicated memory API."""
 
-import pytest
 
 from repro.core import SiftConfig, SiftGroup
 from repro.core.errors import InvalidAccess

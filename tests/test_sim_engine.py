@@ -3,10 +3,7 @@
 import pytest
 
 from repro.sim import (
-    MS,
-    SEC,
     CpuPool,
-    Event,
     ProcessKilled,
     RngStreams,
     SimulationError,
