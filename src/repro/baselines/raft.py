@@ -520,10 +520,12 @@ class RaftNode:
                         # Idle: wake on a new entry or when a heartbeat is due.
                         kick = Event(self.sim)
                         self._replicator_kicks[peer] = kick
-                        self.sim.timeout(remaining).add_callback(
-                            lambda _ev, k=kick: k.try_trigger(None)
-                        )
+                        timer = self.sim.timeout(remaining)
+                        timer.add_callback(lambda _ev, k=kick: k.try_trigger(None))
                         yield kick
+                        # If an entry arrived first the timer is now dead
+                        # weight; cancelling keeps it out of the heap.
+                        timer.cancel()
                         continue
                 prev_index = next_index - 1
                 prev_term = self.log[prev_index - 1].term if prev_index > 0 else 0
@@ -539,10 +541,10 @@ class RaftNode:
                 # Wait for the ack (or a retry tick if it was lost).
                 kick = Event(self.sim)
                 self._replicator_kicks[peer] = kick
-                self.sim.timeout(self.config.heartbeat_us).add_callback(
-                    lambda _ev, k=kick: k.try_trigger(None)
-                )
+                timer = self.sim.timeout(self.config.heartbeat_us)
+                timer.add_callback(lambda _ev, k=kick: k.try_trigger(None))
                 yield kick
+                timer.cancel()
         except ProcessKilled:
             raise
 

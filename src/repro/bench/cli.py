@@ -20,7 +20,14 @@ Examples::
     REPRO_BENCH_MEASURE_MS=300 python -m repro.bench.cli fig5
     python -m repro.bench.cli throughput --system sift-ec --workload mixed
     python -m repro.bench.cli fig5 fig6 fig11 --smoke --out-dir bench_artifacts
+    python -m repro.bench.cli fig5 --jobs 4   # fan points across processes
     python -m repro.bench.cli --refresh-baselines
+
+Figures made of independent points (fig5, fig6, fig11) accept
+``--jobs N`` to fan the points across worker processes via
+:mod:`repro.bench.parallel`; per-point metric registries are merged in
+declared point order, so the artifact is byte-identical at any job
+count.
 """
 
 from __future__ import annotations
@@ -32,16 +39,23 @@ import time
 
 from repro.baselines import characteristics_table
 from repro.bench.calibration import SMOKE_SCALE, BenchScale
+from repro.bench.parallel import run_points
+from repro.bench.points import (
+    FIG5_SYSTEMS,
+    FIG6_SYSTEMS,
+    build_spec,
+    fig5_points,
+    fig6_points,
+    fig11_points,
+    fig11_timings,
+)
 from repro.bench.report import bar_table, kv_table, series_table, sparkline
-from repro.bench.runner import run_latency, run_throughput, run_timeline
-from repro.bench.systems import epaxos_spec, raft_spec, sift_spec
-from repro.chaos import FaultSchedule
+from repro.bench.runner import run_throughput
 from repro.cluster import relative_costs
 from repro.cluster.backups import sweep_backup_pool
 from repro.cluster.provision import TARGET_THROUGHPUT, machine_table
 from repro.obs.artifact import write_artifact
 from repro.obs.registry import MetricsRegistry, collecting
-from repro.sim.units import MS, SEC
 from repro.workloads import WORKLOADS
 
 __all__ = ["main"]
@@ -50,16 +64,8 @@ __all__ = ["main"]
 BASELINE_FIGURES = ("fig5", "fig6", "fig11")
 
 
-def _spec(name: str, scale: BenchScale, cores=None):
-    if name == "sift":
-        return sift_spec(cores=cores, scale=scale)
-    if name == "sift-ec":
-        return sift_spec(erasure_coding=True, cores=cores, scale=scale)
-    if name == "raft-r":
-        return raft_spec(cores=cores or 8, scale=scale)
-    if name == "epaxos":
-        return epaxos_spec(cores=cores or 8, scale=scale)
-    raise SystemExit(f"unknown system: {name}")
+def _progress(key: str) -> None:
+    print(f"  [{key}] done", file=sys.stderr)
 
 
 def _scale_params(scale: BenchScale) -> dict:
@@ -98,25 +104,16 @@ def cmd_table2(_args, _scale):
 
 def cmd_fig5(args, scale):
     mixes = list(WORKLOADS)
-    rows = {}
-    simulated = {}
-    for name in ("epaxos", "sift-ec", "sift", "raft-r"):
-        spec = _spec(name, scale, cores=12)
-        clients = scale.clients * 3 if name == "epaxos" else scale.clients
-        points = {}
-        for mix in mixes:
-            result = run_throughput(
-                spec, WORKLOADS[mix], n_clients=clients, scale=scale,
-                seed=args.seed,
-            )
-            points[mix] = {
-                "ops_per_sec": result.ops_per_sec,
-                "completed": result.completed,
-                "errors": result.errors,
-            }
-        simulated[name] = points
-        rows[name] = [points[mix]["ops_per_sec"] for mix in mixes]
-        print(f"  [{name}] done", file=sys.stderr)
+    results = run_points(fig5_points(scale, args.seed), jobs=args.jobs,
+                         progress=_progress)
+    simulated = {
+        name: {mix: results[f"{name}/{mix}"] for mix in mixes}
+        for name in FIG5_SYSTEMS
+    }
+    rows = {
+        name: [simulated[name][mix]["ops_per_sec"] for mix in mixes]
+        for name in FIG5_SYSTEMS
+    }
     print(bar_table("Figure 5: throughput by workload (F=1)", mixes, rows))
     return {
         "simulated": simulated,
@@ -128,36 +125,29 @@ def cmd_fig6(args, scale):
     # ~90% of the default 48-client saturation point; scaled down with
     # the pinned smoke scale so the run stays a few hundred ms.
     high_load_clients = 8 if args.smoke else 28
+    results = run_points(
+        fig6_points(scale, args.seed, high_load_clients), jobs=args.jobs,
+        progress=_progress,
+    )
     simulated = {}
     rows = []
-    for name in ("raft-r", "sift", "sift-ec", "epaxos"):
-        spec = _spec(name, scale, cores=12)
+    for name in FIG6_SYSTEMS:
         per_load = {}
-        for load, clients in (("low", 1), ("high", high_load_clients)):
-            r = run_latency(
-                spec, WORKLOADS["mixed"], clients, scale=scale, seed=args.seed
-            )
-            per_load[load] = {
-                "clients": clients,
-                "read_p50": r.read_p50,
-                "read_p95": r.read_p95,
-                "write_p50": r.write_p50,
-                "write_p95": r.write_p95,
-                "ops_per_sec": r.ops_per_sec,
-            }
+        for load in ("low", "high"):
+            r = results[f"{name}/{load}"]
+            per_load[load] = r
             rows.append(
                 (
                     f"{name}/{load}",
                     [
-                        (1, r.read_p50 or 0.0),
-                        (2, r.read_p95 or 0.0),
-                        (3, r.write_p50 or 0.0),
-                        (4, r.write_p95 or 0.0),
+                        (1, r["read_p50"] or 0.0),
+                        (2, r["read_p95"] or 0.0),
+                        (3, r["write_p50"] or 0.0),
+                        (4, r["write_p95"] or 0.0),
                     ],
                 )
             )
         simulated[name] = per_load
-        print(f"  [{name}] done", file=sys.stderr)
     print(
         series_table(
             "Figure 6: latency (us) at 1 client and ~90% load",
@@ -210,63 +200,29 @@ def cmd_fig10(_args, _scale):
 
 
 def cmd_fig11(args, scale):
-    # Full-size timings match benchmarks/test_fig11_memnode_failure.py;
-    # --smoke compresses the schedule so CI sees the same three phases
-    # (dip, copy-back contention, recovery) in ~1.5 simulated seconds.
-    if args.smoke:
-        kill_at, restart_at, duration, clients = (
-            0.3 * SEC, 0.45 * SEC, 1.5 * SEC, 6,
-        )
-    else:
-        kill_at, restart_at, duration, clients = (
-            0.6 * SEC, 0.9 * SEC, 3.0 * SEC, 10,
-        )
-    spec = sift_spec(cores=12, scale=scale)
-    recovered_at = []
-
-    def watch_recovery(group):
-        def watch():
-            coordinator = group.serving_coordinator()
-            while coordinator.repmem.states[2] != "live":
-                yield group.fabric.sim.timeout(10 * MS)
-            recovered_at.append(group.fabric.sim.now)
-
-        group.fabric.sim.spawn(watch(), name="watch-recovery")
-
-    schedule = (
-        FaultSchedule()
-        .crash_memory_node(kill_at, 2)
-        .restart_memory_node(restart_at, 2)
-        .probe(restart_at, watch_recovery, "watch recovery")
+    # One point: the timeline is a single run (see points.fig11_timings
+    # for the full-size vs --smoke schedules).
+    kill_at, restart_at, duration, clients = fig11_timings(args.smoke)
+    results = run_points(
+        fig11_points(scale, args.seed, args.smoke), jobs=args.jobs,
+        progress=_progress,
     )
-    result = run_timeline(
-        spec,
-        WORKLOADS["read-heavy"],
-        clients,
-        duration,
-        events=schedule,
-        scale=scale,
-        seed=args.seed,
-    )
+    simulated = results["sift/memnode-failure"]
+    series = [(t, ops) for t, ops in simulated["series"]]
+    events = [(t, label) for t, label in simulated["events"]]
     print(
         series_table(
             "Figure 11: read-heavy throughput during a memory node failure",
             "seconds",
             "ops/sec",
-            {"sift": result.series},
+            {"sift": series},
         )
     )
-    print("timeline:", sparkline([ops for _t, ops in result.series]))
-    recovery_s = (
-        (recovered_at[0] - result.base_us) / 1e6 if recovered_at else None
-    )
-    print("events:", result.events, "recovery completed:", bool(recovered_at))
+    print("timeline:", sparkline([ops for _t, ops in series]))
+    print("events:", events, "recovery completed:",
+          simulated["recovery_s"] is not None)
     return {
-        "simulated": {
-            "series": [[t, ops] for t, ops in result.series],
-            "events": [[t, label] for t, label in result.events],
-            "recovery_s": recovery_s,
-        },
+        "simulated": simulated,
         "params": {
             "cores": 12,
             "clients": clients,
@@ -279,7 +235,7 @@ def cmd_fig11(args, scale):
 
 
 def cmd_throughput(args, scale):
-    spec = _spec(args.system, scale, cores=args.cores)
+    spec = build_spec(args.system, scale, cores=args.cores)
     result = run_throughput(
         spec, WORKLOADS[args.workload], scale=scale, seed=args.seed
     )
@@ -361,6 +317,11 @@ def main(argv=None) -> int:
     parser.add_argument("--cores", type=int, default=None)
     parser.add_argument("--seed", type=int, default=1,
                         help="experiment seed recorded in the artifact")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent figure points "
+             "(artifacts are byte-identical at any job count)",
+    )
     parser.add_argument("--smoke", action="store_true",
                         help="pinned CI scale (ignores REPRO_BENCH_* env)")
     parser.add_argument("--out-dir", default="bench_artifacts",

@@ -1,0 +1,385 @@
+"""Wall-clock performance harness for the simulator itself.
+
+Everything else in :mod:`repro.bench` measures *simulated* time, which
+is deterministic and host-independent.  This module measures the other
+axis — how fast the host chews through simulated events — so engine
+changes can be justified (or caught regressing) with numbers:
+
+* **Engine microbenchmarks** (events/sec) run the same workload on the
+  current engine and on :mod:`repro.sim.reference` (the verbatim
+  pre-fast-path engine): pure heap churn, zero-delay callback cascades
+  (the ready-deque path), and cancelled-timer churn (the lazy
+  cancellation path that heartbeat/election/RPC-guard timers hit).
+* **RDMA loopback** drives read/write verbs through a queue pair
+  between two hosts and reports verbs/sec.
+* **fig5 smoke driver** times one (sift, read-heavy) Figure 5 point at
+  ``--smoke`` scale on both engines via
+  :data:`repro.bench.runner.SIMULATOR_FACTORY`, checks the simulated
+  numbers are identical, and reports the engine speedup.
+* **Parallel sweep scaling** times a two-point sweep at ``--jobs 1``
+  and ``--jobs 2``; the ratio only exceeds ~1.0 on multi-core hosts,
+  which is why the artifact records ``host.cpu_count``.
+
+Results go to ``PERF_perfbench.json`` (:func:`repro.obs.artifact.
+write_perf_artifact`).  Perf artifacts are never strictly compared —
+wall clock is host property, not a correctness property — but CI's
+perf-smoke job uploads one per run so trends are visible.
+
+Example::
+
+    PYTHONPATH=src python -m repro.bench.perfbench --out-dir bench_artifacts
+    PYTHONPATH=src python -m repro.bench.perfbench --quick   # CI sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.bench import runner
+from repro.bench.calibration import SMOKE_SCALE
+from repro.bench.parallel import Point, run_points
+from repro.bench.points import throughput_point
+from repro.bench.report import kv_table
+from repro.bench.runner import run_throughput
+from repro.bench.systems import sift_spec
+from repro.net.fabric import Fabric
+from repro.obs.artifact import write_perf_artifact
+from repro.rdma.listener import RdmaListener
+from repro.rdma.memory import MemoryRegion
+from repro.rdma.nic import Rnic
+from repro.rdma.qp import QueuePair
+from repro.sim import engine, reference
+from repro.sim.rng import RngStreams
+from repro.workloads import WORKLOADS
+
+__all__ = ["main", "run_perfbench"]
+
+ENGINES = {"fast": engine.Simulator, "reference": reference.Simulator}
+
+
+def _timed(fn: Callable[[], int], repeat: int) -> Dict[str, float]:
+    """Best-of-*repeat* wall time for *fn*; returns work count and rates."""
+    best = float("inf")
+    count = 0
+    for _ in range(repeat):
+        gc.collect()
+        started = time.perf_counter()
+        count = fn()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return {"count": count, "wall_s": best, "per_s": count / best}
+
+
+# -- engine microbenchmarks --------------------------------------------------
+
+
+def _noop():
+    return None
+
+
+def _heap_churn(sim_factory: Callable, n: int) -> int:
+    """Pure timestamped scheduling: n events through the heap."""
+    sim = sim_factory()
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    for i in range(n):
+        sim.schedule(1.0 + (i * 7919) % 997, tick)
+    sim.run()
+    assert fired[0] == n
+    return n
+
+
+def _cascade(sim_factory: Callable, n: int) -> int:
+    """Zero-delay callback chains: the ready-deque fast path.
+
+    The heap is preloaded with pending far-future timers first — a
+    steady-state run keeps thousands queued (heartbeats, retransmit
+    guards), and that depth is what a zero-delay heappush/heappop pays
+    on the all-heap engine.  The run stops before the background timers
+    fire, so both engines do identical non-cascade work.
+    """
+    sim = sim_factory()
+    noop = _noop
+    for i in range(10_000):
+        sim.schedule(1e9 + i, noop)
+    left = [n]
+
+    def tick():
+        if left[0]:
+            left[0] -= 1
+            sim.schedule(0.0, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run(until=1_000_000.0)
+    assert left[0] == 0
+    return n
+
+
+def _timer_churn(sim_factory: Callable, n: int) -> int:
+    """Guard-timer traffic: most timeouts are cancelled before firing.
+
+    This is the shape RPC guards, heartbeats and election timers
+    produce.  The reference engine cannot cancel (``cancel`` is a
+    no-op there, as pre-fast-path code never removed entries), so it
+    pays full heap churn for every dead timer — exactly the cost the
+    lazy-cancellation path removes.
+    """
+    sim = sim_factory()
+    fired = [0]
+    for i in range(n):
+        timer = sim.timeout(50.0 + (i % 13))
+        timer.add_callback(lambda _ev: fired.__setitem__(0, fired[0] + 1))
+        if i % 10:
+            timer.cancel()
+    sim.run()
+    # The reference engine cannot cancel, so every timer fires there;
+    # the fast engine fires only the kept 10%.
+    assert fired[0] >= (n + 9) // 10
+    return n
+
+
+ENGINE_BENCHES = {
+    "heap_churn": _heap_churn,
+    "cascade": _cascade,
+    "timer_churn": _timer_churn,
+}
+
+
+def _engine_section(n: int, repeat: int, log) -> Dict[str, Dict[str, float]]:
+    section: Dict[str, Dict[str, float]] = {}
+    for name, bench in ENGINE_BENCHES.items():
+        # Interleave the engines within each repetition (A/B/A/B...)
+        # so slow drift in host load biases neither side.
+        best = {label: float("inf") for label in ENGINES}
+        for _ in range(repeat):
+            for label, factory in ENGINES.items():
+                gc.collect()
+                started = time.perf_counter()
+                bench(factory, n)
+                best[label] = min(best[label], time.perf_counter() - started)
+        row: Dict[str, float] = {"events": n}
+        for label in ENGINES:
+            row[f"{label}_wall_s"] = best[label]
+            row[f"{label}_events_per_s"] = n / best[label]
+        row["speedup"] = row["reference_wall_s"] / row["fast_wall_s"]
+        section[name] = row
+        log(f"engine/{name}: {row['fast_events_per_s']:,.0f} ev/s "
+            f"({row['speedup']:.2f}x vs reference)")
+    return section
+
+
+# -- RDMA loopback -----------------------------------------------------------
+
+
+def _rdma_loopback(n: int) -> int:
+    """n write+read verb pairs across a queue pair; returns verb count."""
+    sim = engine.Simulator()
+    fabric = Fabric(sim, rng=RngStreams(seed=1))
+    target = fabric.add_host("target", cores=1)
+    requester = fabric.add_host("requester", cores=2)
+    listener = RdmaListener(target)
+    region = MemoryRegion("data", 4096)
+    listener.export(region)
+    qp = QueuePair(Rnic(requester, fabric), listener)
+    payload = b"x" * 64
+
+    def proc():
+        yield requester.spawn(qp.connect(["data"]))
+        for _ in range(n):
+            yield qp.write("data", 0, payload)
+            yield qp.read("data", 0, 64)
+
+    done = sim.spawn(proc(), name="rdma-loopback")
+    sim.run()
+    assert done.ok, done.exception
+    return 2 * n
+
+
+# -- fig5 smoke driver A/B ---------------------------------------------------
+
+
+def _fig5_smoke(engine_name: str):
+    """One (sift, read-heavy) Figure 5 point on the given engine."""
+    previous = runner.SIMULATOR_FACTORY
+    runner.SIMULATOR_FACTORY = ENGINES[engine_name]
+    try:
+        return run_throughput(
+            sift_spec(cores=12, scale=SMOKE_SCALE),
+            WORKLOADS["read-heavy"],
+            n_clients=SMOKE_SCALE.clients,
+            scale=SMOKE_SCALE,
+            seed=1,
+        )
+    finally:
+        runner.SIMULATOR_FACTORY = previous
+
+
+def _fig5_section(repeat: int, log) -> Dict[str, object]:
+    results = {}
+    walls = {name: float("inf") for name in ENGINES}
+    for _ in range(repeat):  # engines interleaved per repetition
+        for name in ENGINES:
+            gc.collect()
+            started = time.perf_counter()
+            results[name] = _fig5_smoke(name)
+            walls[name] = min(walls[name], time.perf_counter() - started)
+    fast, ref = results["fast"], results["reference"]
+    identical = (fast.ops_per_sec, fast.completed, fast.errors) == (
+        ref.ops_per_sec, ref.completed, ref.errors
+    )
+    if not identical:
+        raise AssertionError(
+            f"engines disagree on simulated numbers: fast={fast} reference={ref}"
+        )
+    section = {
+        "system": "sift",
+        "workload": "read-heavy",
+        "simulated_ops_per_sec": fast.ops_per_sec,
+        "completed": fast.completed,
+        "fast_wall_s": walls["fast"],
+        "reference_wall_s": walls["reference"],
+        "fast_driver_ops_per_s": fast.completed / walls["fast"],
+        "reference_driver_ops_per_s": fast.completed / walls["reference"],
+        "speedup": walls["reference"] / walls["fast"],
+        "simulated_identical": identical,
+    }
+    log(f"fig5-smoke: {section['fast_driver_ops_per_s']:,.0f} ops/s driven "
+        f"({section['speedup']:.2f}x vs reference engine)")
+    return section
+
+
+# -- parallel sweep scaling --------------------------------------------------
+
+
+def _sweep_points():
+    return [
+        Point(
+            key=f"{system}/read-heavy",
+            fn=throughput_point,
+            kwargs={
+                "system": system,
+                "workload": "read-heavy",
+                "clients": SMOKE_SCALE.clients,
+                "cores": 12,
+                "scale": SMOKE_SCALE,
+                "seed": 1,
+            },
+        )
+        for system in ("sift", "raft-r")
+    ]
+
+
+def _parallel_section(log) -> Dict[str, float]:
+    walls = {}
+    values = {}
+    for jobs in (1, 2):
+        gc.collect()
+        started = time.perf_counter()
+        values[jobs] = run_points(_sweep_points(), jobs=jobs)
+        walls[jobs] = time.perf_counter() - started
+    if values[1] != values[2]:
+        raise AssertionError(
+            f"job counts disagree: jobs1={values[1]} jobs2={values[2]}"
+        )
+    section = {
+        "points": 2,
+        "jobs1_wall_s": walls[1],
+        "jobs2_wall_s": walls[2],
+        "scaling": walls[1] / walls[2],
+        "results_identical": True,
+    }
+    log(f"parallel sweep: jobs=2 is {section['scaling']:.2f}x jobs=1 "
+        "(expect ~1.0 on a single-core host)")
+    return section
+
+
+# -- harness -----------------------------------------------------------------
+
+
+def run_perfbench(
+    events: int = 200_000,
+    rdma_verbs: int = 5_000,
+    repeat: int = 3,
+    log: Callable[[str], None] = lambda line: print(line, file=sys.stderr),
+) -> Dict[str, object]:
+    """Run every section; returns the artifact's results dict."""
+    results: Dict[str, object] = {}
+    results["engine"] = _engine_section(events, repeat, log)
+    timing = _timed(lambda: _rdma_loopback(rdma_verbs), repeat)
+    results["rdma_loopback"] = {
+        "verbs": timing["count"],
+        "wall_s": timing["wall_s"],
+        "verbs_per_s": timing["per_s"],
+    }
+    log(f"rdma loopback: {timing['per_s']:,.0f} verbs/s")
+    results["fig5_smoke"] = _fig5_section(repeat, log)
+    results["parallel_sweep"] = _parallel_section(log)
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perfbench",
+        description="Measure host events/sec, verbs/sec and engine speedups.",
+    )
+    parser.add_argument("--out-dir", default="bench_artifacts",
+                        help="directory for the PERF_perfbench.json artifact")
+    parser.add_argument("--events", type=int, default=200_000,
+                        help="events per engine microbenchmark")
+    parser.add_argument("--rdma-verbs", type=int, default=5_000,
+                        help="verb pairs for the RDMA loopback benchmark")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per measurement (best-of)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI sizing: fewer events, single repetition")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.events = min(args.events, 50_000)
+        args.rdma_verbs = min(args.rdma_verbs, 2_000)
+        args.repeat = 1
+
+    results = run_perfbench(
+        events=args.events, rdma_verbs=args.rdma_verbs, repeat=args.repeat
+    )
+    engine_rows = [
+        (f"engine/{name}",
+         f"{row['fast_events_per_s']:,.0f} ev/s, {row['speedup']:.2f}x")
+        for name, row in results["engine"].items()
+    ]
+    fig5 = results["fig5_smoke"]
+    sweep = results["parallel_sweep"]
+    print(kv_table(
+        "perfbench: wall-clock rates (fast engine, speedup vs reference)",
+        engine_rows + [
+            ("rdma loopback",
+             f"{results['rdma_loopback']['verbs_per_s']:,.0f} verbs/s"),
+            ("fig5 smoke point",
+             f"{fig5['fast_driver_ops_per_s']:,.0f} ops/s, "
+             f"{fig5['speedup']:.2f}x"),
+            ("sweep jobs=2 vs jobs=1", f"{sweep['scaling']:.2f}x"),
+        ],
+    ))
+    path = write_perf_artifact(
+        args.out_dir,
+        "perfbench",
+        results,
+        params={
+            "events": args.events,
+            "rdma_verbs": args.rdma_verbs,
+            "repeat": args.repeat,
+            "scale": "smoke",
+        },
+    )
+    print(f"  wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

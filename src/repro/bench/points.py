@@ -1,0 +1,201 @@
+"""Top-level point functions for the parallelisable figures.
+
+Each function here runs one independent experiment — one (system,
+workload) throughput cell, one (system, load) latency cell, one
+fault-injection timeline — and returns a plain JSON-shaped fragment.
+They are module-level and take only picklable keyword arguments so
+:mod:`repro.bench.parallel` can ship them to worker processes; the
+``figN_points`` builders declare each figure's full point list in the
+exact order the old serial loops ran, which is also the registry merge
+order and therefore part of the artifact contract.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.calibration import BenchScale
+from repro.bench.parallel import Point
+from repro.bench.runner import run_latency, run_throughput, run_timeline
+from repro.bench.systems import epaxos_spec, raft_spec, sift_spec
+from repro.chaos import FaultSchedule
+from repro.sim.units import MS, SEC
+from repro.workloads import WORKLOADS
+
+__all__ = [
+    "build_spec",
+    "FIG5_SYSTEMS",
+    "FIG6_SYSTEMS",
+    "fig5_points",
+    "fig6_points",
+    "fig11_points",
+    "fig11_timings",
+    "throughput_point",
+    "latency_point",
+    "memnode_failure_point",
+]
+
+#: Fig. 5 system order (slowest first, matching the paper's bar groups).
+FIG5_SYSTEMS = ("epaxos", "sift-ec", "sift", "raft-r")
+
+#: Fig. 6 system order.
+FIG6_SYSTEMS = ("raft-r", "sift", "sift-ec", "epaxos")
+
+
+def build_spec(name: str, scale: BenchScale, cores=None):
+    """System spec by CLI name (sift / sift-ec / raft-r / epaxos)."""
+    if name == "sift":
+        return sift_spec(cores=cores, scale=scale)
+    if name == "sift-ec":
+        return sift_spec(erasure_coding=True, cores=cores, scale=scale)
+    if name == "raft-r":
+        return raft_spec(cores=cores or 8, scale=scale)
+    if name == "epaxos":
+        return epaxos_spec(cores=cores or 8, scale=scale)
+    raise SystemExit(f"unknown system: {name}")
+
+
+# -- point functions (top-level, picklable) ---------------------------------
+
+
+def throughput_point(
+    system: str, workload: str, clients: int, cores: int, scale: BenchScale, seed: int
+) -> dict:
+    """One Figure 5 cell: peak throughput of (system, workload)."""
+    spec = build_spec(system, scale, cores=cores)
+    result = run_throughput(
+        spec, WORKLOADS[workload], n_clients=clients, scale=scale, seed=seed
+    )
+    return {
+        "ops_per_sec": result.ops_per_sec,
+        "completed": result.completed,
+        "errors": result.errors,
+    }
+
+
+def latency_point(
+    system: str, workload: str, clients: int, cores: int, scale: BenchScale, seed: int
+) -> dict:
+    """One Figure 6 cell: latency percentiles at a fixed client count."""
+    spec = build_spec(system, scale, cores=cores)
+    r = run_latency(spec, WORKLOADS[workload], clients, scale=scale, seed=seed)
+    return {
+        "clients": clients,
+        "read_p50": r.read_p50,
+        "read_p95": r.read_p95,
+        "write_p50": r.write_p50,
+        "write_p95": r.write_p95,
+        "ops_per_sec": r.ops_per_sec,
+    }
+
+
+def fig11_timings(smoke: bool):
+    """(kill_at, restart_at, duration, clients) for the Fig. 11 schedule.
+
+    Full-size timings match ``benchmarks/test_fig11_memnode_failure.py``;
+    smoke compresses the schedule so CI sees the same three phases (dip,
+    copy-back contention, recovery) in ~1.5 simulated seconds.
+    """
+    if smoke:
+        return 0.3 * SEC, 0.45 * SEC, 1.5 * SEC, 6
+    return 0.6 * SEC, 0.9 * SEC, 3.0 * SEC, 10
+
+
+def memnode_failure_point(smoke: bool, scale: BenchScale, seed: int) -> dict:
+    """The Figure 11 timeline: kill memory node 2, restart it, watch
+    the copy-back finish.  One point — the timeline is a single run."""
+    kill_at, restart_at, duration, clients = fig11_timings(smoke)
+    spec = sift_spec(cores=12, scale=scale)
+    recovered_at: List[float] = []
+
+    def watch_recovery(group):
+        def watch():
+            coordinator = group.serving_coordinator()
+            while coordinator.repmem.states[2] != "live":
+                yield group.fabric.sim.timeout(10 * MS)
+            recovered_at.append(group.fabric.sim.now)
+
+        group.fabric.sim.spawn(watch(), name="watch-recovery")
+
+    schedule = (
+        FaultSchedule()
+        .crash_memory_node(kill_at, 2)
+        .restart_memory_node(restart_at, 2)
+        .probe(restart_at, watch_recovery, "watch recovery")
+    )
+    result = run_timeline(
+        spec,
+        WORKLOADS["read-heavy"],
+        clients,
+        duration,
+        events=schedule,
+        scale=scale,
+        seed=seed,
+    )
+    recovery_s = (
+        (recovered_at[0] - result.base_us) / 1e6 if recovered_at else None
+    )
+    return {
+        "series": [[t, ops] for t, ops in result.series],
+        "events": [[t, label] for t, label in result.events],
+        "recovery_s": recovery_s,
+    }
+
+
+# -- figure point lists (declared order == serial order == merge order) -----
+
+
+def fig5_points(scale: BenchScale, seed: int) -> List[Point]:
+    """System-major, workload-minor — the old nested-loop order."""
+    points = []
+    for system in FIG5_SYSTEMS:
+        clients = scale.clients * 3 if system == "epaxos" else scale.clients
+        for mix in WORKLOADS:
+            points.append(
+                Point(
+                    key=f"{system}/{mix}",
+                    fn=throughput_point,
+                    kwargs={
+                        "system": system,
+                        "workload": mix,
+                        "clients": clients,
+                        "cores": 12,
+                        "scale": scale,
+                        "seed": seed,
+                    },
+                )
+            )
+    return points
+
+
+def fig6_points(scale: BenchScale, seed: int, high_load_clients: int) -> List[Point]:
+    """System-major, low load then high load."""
+    points = []
+    for system in FIG6_SYSTEMS:
+        for load, clients in (("low", 1), ("high", high_load_clients)):
+            points.append(
+                Point(
+                    key=f"{system}/{load}",
+                    fn=latency_point,
+                    kwargs={
+                        "system": system,
+                        "workload": "mixed",
+                        "clients": clients,
+                        "cores": 12,
+                        "scale": scale,
+                        "seed": seed,
+                    },
+                )
+            )
+    return points
+
+
+def fig11_points(scale: BenchScale, seed: int, smoke: bool) -> List[Point]:
+    points = [
+        Point(
+            key="sift/memnode-failure",
+            fn=memnode_failure_point,
+            kwargs={"smoke": smoke, "scale": scale, "seed": seed},
+        )
+    ]
+    return points

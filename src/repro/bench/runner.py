@@ -36,7 +36,13 @@ __all__ = [
     "run_throughput",
     "run_latency",
     "run_timeline",
+    "SIMULATOR_FACTORY",
 ]
+
+#: Constructor used for every experiment's event loop.  Perfbench swaps
+#: in :class:`repro.sim.reference.Simulator` to measure the same driver
+#: on the pre-fast-path engine; everything else should leave this alone.
+SIMULATOR_FACTORY: Callable[[], Simulator] = Simulator
 
 
 class ThroughputResult(NamedTuple):
@@ -71,7 +77,7 @@ class TimelineResult(NamedTuple):
 
 
 def _setup(spec: SystemSpec, scale: BenchScale, seed: int):
-    sim = Simulator()
+    sim = SIMULATOR_FACTORY()
     fabric = Fabric(sim, rng=RngStreams(seed=seed))
     cluster = spec.build(fabric)
     return sim, fabric, cluster

@@ -13,6 +13,7 @@ import numpy as np
 __all__ = [
     "EXP",
     "LOG",
+    "MUL",
     "gf_add",
     "gf_sub",
     "gf_mul",
@@ -38,6 +39,14 @@ for _power in range(255):
         _value ^= _POLY
 for _power in range(255, 512):
     EXP[_power] = EXP[_power - 255]
+
+# Full 256x256 product table (64 KiB).  ``MUL[a, b] == gf_mul(a, b)`` —
+# one fancy-indexed row lookup replaces the log/exp + nonzero-mask dance
+# in the vectorised kernels.
+MUL = EXP[LOG[:, None] + LOG[None, :]].copy()
+MUL[0, :] = 0
+MUL[:, 0] = 0
+MUL.setflags(write=False)
 
 
 def gf_add(a: int, b: int) -> int:
@@ -91,8 +100,4 @@ def gf_mul_vec(scalar: int, vec: np.ndarray) -> np.ndarray:
         return np.zeros_like(vec)
     if scalar == 1:
         return vec.copy()
-    log_s = int(LOG[scalar])
-    out = np.zeros_like(vec)
-    nonzero = vec != 0
-    out[nonzero] = EXP[log_s + LOG[vec[nonzero]]]
-    return out
+    return MUL[scalar][vec]

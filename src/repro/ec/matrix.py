@@ -1,10 +1,19 @@
-"""Matrix algebra over GF(2^8): multiply, invert, Cauchy construction."""
+"""Matrix algebra over GF(2^8): multiply, invert, Cauchy construction.
+
+All kernels go through the precomputed :data:`repro.ec.gf256.MUL`
+product table — a row lookup ``MUL[coeff][vec]`` multiplies a whole
+chunk by a scalar in one vectorised fancy-index, and an outer lookup
+``MUL[factors[:, None], row[None, :]]`` eliminates every row of a
+Gauss-Jordan column at once.  The scalar reference implementations live
+in the equivalence tests (``tests/test_ec.py``), which drive both over
+seeded random blocks.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.ec.gf256 import EXP, LOG, gf_inv
+from repro.ec.gf256 import EXP, LOG, MUL
 
 __all__ = ["gf_matmul", "gf_mat_inv", "cauchy_matrix", "identity"]
 
@@ -17,8 +26,9 @@ def identity(n: int) -> np.ndarray:
 def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Matrix product over GF(2^8).
 
-    Computed row-by-row with the exp/log tables; XOR replaces summation.
-    Shapes follow numpy convention: (n, k) @ (k, m) -> (n, m).
+    XOR replaces summation; each coefficient's scalar-times-row product
+    is a single table-row lookup.  Shapes follow numpy convention:
+    (n, k) @ (k, m) -> (n, m).
     """
     a = np.asarray(a, dtype=np.uint8)
     b = np.asarray(b, dtype=np.uint8)
@@ -26,18 +36,12 @@ def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         raise ValueError(f"incompatible shapes {a.shape} @ {b.shape}")
     out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
     for i in range(a.shape[0]):
-        acc = np.zeros(b.shape[1], dtype=np.uint8)
+        acc = out[i]
         row = a[i]
         for j in range(a.shape[1]):
-            coeff = int(row[j])
-            if coeff == 0:
-                continue
-            col = b[j]
-            nz = col != 0
-            term = np.zeros_like(col)
-            term[nz] = EXP[int(LOG[coeff]) + LOG[col[nz]]]
-            acc ^= term
-        out[i] = acc
+            coeff = row[j]
+            if coeff:
+                acc ^= MUL[coeff][b[j]]
     return out
 
 
@@ -53,34 +57,22 @@ def gf_mat_inv(matrix: np.ndarray) -> np.ndarray:
         raise ValueError(f"matrix must be square, got {matrix.shape}")
     work = np.concatenate([matrix.copy(), identity(n)], axis=1).astype(np.uint8)
     for col in range(n):
-        pivot_row = None
-        for row in range(col, n):
-            if work[row, col] != 0:
-                pivot_row = row
-                break
-        if pivot_row is None:
+        pivot_col = work[:, col]
+        nonzero = np.flatnonzero(pivot_col[col:])
+        if nonzero.size == 0:
             raise np.linalg.LinAlgError("matrix is singular over GF(2^8)")
+        pivot_row = col + int(nonzero[0])
         if pivot_row != col:
             work[[col, pivot_row]] = work[[pivot_row, col]]
         # Scale the pivot row to make the pivot 1.
-        inv_pivot = gf_inv(int(work[col, col]))
-        log_inv = int(LOG[inv_pivot])
-        row_vals = work[col]
-        nz = row_vals != 0
-        scaled = np.zeros_like(row_vals)
-        scaled[nz] = EXP[log_inv + LOG[row_vals[nz]]]
-        work[col] = scaled
-        # Eliminate the column from every other row.
-        for row in range(n):
-            if row == col or work[row, col] == 0:
-                continue
-            factor = int(work[row, col])
-            log_f = int(LOG[factor])
-            pivot_vals = work[col]
-            nz = pivot_vals != 0
-            term = np.zeros_like(pivot_vals)
-            term[nz] = EXP[log_f + LOG[pivot_vals[nz]]]
-            work[row] ^= term
+        inv_pivot = int(EXP[255 - int(LOG[work[col, col]])])
+        work[col] = MUL[inv_pivot][work[col]]
+        # Eliminate the column from every other row in one outer lookup.
+        factors = work[:, col].copy()
+        factors[col] = 0
+        rows = np.flatnonzero(factors)
+        if rows.size:
+            work[rows] ^= MUL[factors[rows][:, None], work[col][None, :]]
     return work[:, n:].copy()
 
 
@@ -93,8 +85,7 @@ def cauchy_matrix(rows: int, cols: int) -> np.ndarray:
     """
     if rows + cols > 256:
         raise ValueError(f"rows + cols must be <= 256, got {rows + cols}")
-    out = np.zeros((rows, cols), dtype=np.uint8)
-    for i in range(rows):
-        for j in range(cols):
-            out[i, j] = gf_inv(i ^ (rows + j))
-    return out
+    x = np.arange(rows, dtype=np.int32)[:, None]
+    y = rows + np.arange(cols, dtype=np.int32)[None, :]
+    # x < rows <= y, so x ^ y is never zero and always invertible.
+    return EXP[255 - LOG[x ^ y]].astype(np.uint8)

@@ -130,13 +130,19 @@ class ValueCache:
     # -- eviction ---------------------------------------------------------------
 
     def _evict(self) -> None:
-        if len(self._entries) <= self.capacity:
-            return
-        for key in list(self._entries):
-            if len(self._entries) <= self.capacity:
-                break
-            if self._entries[key].pending == 0:
-                del self._entries[key]
+        # Evict the first unpinned keys in LRU order.  Restart the scan
+        # from the head after each delete instead of snapshotting every
+        # key: with no pinned entries at the head (the common case) each
+        # eviction is O(1) rather than O(len(cache)).
+        entries = self._entries
+        capacity = self.capacity
+        while len(entries) > capacity:
+            for key in entries:
+                if entries[key].pending == 0:
+                    del entries[key]
+                    break
+            else:
+                break  # everything left is pinned
 
     @property
     def hit_rate(self) -> float:

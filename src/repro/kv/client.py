@@ -44,6 +44,7 @@ class KvClient:
         self.max_rounds = max_rounds
         self.retry_backoff_us = retry_backoff_us
         self._preferred: Optional[int] = None
+        self._order_cache: dict = {}  # preferred index -> probe order tuple
         self.stats = {"requests": 0, "retries": 0, "failures": 0}
 
     # -- public API (all processes) ---------------------------------------------
@@ -71,9 +72,16 @@ class KvClient:
         endpoints = []
         preferred = self._preferred
         cpu_nodes = self.group.cpu_nodes
-        order = range(len(cpu_nodes))
-        if preferred is not None and preferred < len(cpu_nodes):
-            order = [preferred] + [i for i in order if i != preferred]
+        n = len(cpu_nodes)
+        if preferred is not None and preferred < n:
+            # The probe order depends only on (preferred, n); memoise it
+            # instead of rebuilding the list on every request.
+            order = self._order_cache.get(preferred)
+            if order is None or len(order) != n:
+                order = (preferred, *(i for i in range(n) if i != preferred))
+                self._order_cache[preferred] = order
+        else:
+            order = range(n)
         for index in order:
             cpu_node = cpu_nodes[index]
             endpoint = cpu_node.host.services.get("rpc:kv")

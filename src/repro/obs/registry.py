@@ -186,6 +186,46 @@ class MetricsRegistry:
             },
         }
 
+    # -- cross-process merging -------------------------------------------
+
+    def dump(self) -> Dict[str, Any]:
+        """Raw, lossless state for shipping across process boundaries.
+
+        Unlike :meth:`snapshot`, histograms keep their full sample lists
+        so :meth:`merge_dump` can reproduce exact percentiles and
+        float-addition order on the receiving side.
+        """
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {k: list(h.samples) for k, h in self._histograms.items()},
+        }
+
+    def merge_dump(self, dump: Dict[str, Any]) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        Counters add, gauges take the incoming value (last write wins —
+        callers must merge in the same order a serial run would have
+        published), and histograms extend with the raw samples, so the
+        merged registry is byte-identical to one that collected every
+        series itself in that order.
+        """
+        for key, value in dump.get("counters", {}).items():
+            series = self._counters.get(key)
+            if series is None:
+                series = self._counters[key] = Counter(key)
+            series.value += value
+        for key, value in dump.get("gauges", {}).items():
+            series = self._gauges.get(key)
+            if series is None:
+                series = self._gauges[key] = Gauge(key)
+            series.value = float(value)
+        for key, samples in dump.get("histograms", {}).items():
+            series = self._histograms.get(key)
+            if series is None:
+                series = self._histograms[key] = Histogram(key)
+            series.samples.extend(float(s) for s in samples)
+
 
 # -- installation ---------------------------------------------------------
 

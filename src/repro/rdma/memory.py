@@ -39,6 +39,12 @@ class MemoryRegion:
     def read(self, offset: int, length: int) -> bytes:
         """Copy *length* bytes starting at *offset*."""
         self._check(offset, length)
+        page_index, page_offset = divmod(offset, PAGE_BYTES)
+        if page_offset + length <= PAGE_BYTES:  # single-page fast path
+            page = self._pages.get(page_index)
+            if page is None:
+                return bytes(length)
+            return bytes(page[page_offset : page_offset + length])
         out = bytearray(length)
         position = 0
         while position < length:
@@ -54,6 +60,14 @@ class MemoryRegion:
         """Overwrite the bytes at *offset* with *data*."""
         length = len(data)
         self._check(offset, length)
+        page_index, page_offset = divmod(offset, PAGE_BYTES)
+        if page_offset + length <= PAGE_BYTES:  # single-page fast path
+            page = self._pages.get(page_index)
+            if page is None:
+                page = bytearray(PAGE_BYTES)
+                self._pages[page_index] = page
+            page[page_offset : page_offset + length] = data
+            return
         position = 0
         while position < length:
             page_index, page_offset = divmod(offset + position, PAGE_BYTES)

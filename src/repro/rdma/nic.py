@@ -129,12 +129,15 @@ class Rnic:
         sim = self.host.sim
         done = Event(sim)
         budget = timeout_us if timeout_us is not None else self.timeout_us
-        sim.schedule(
+        guard = sim.schedule(
             budget,
             lambda: done.try_fail(
                 RdmaTimeout(f"verb to {target.name} exceeded {budget}us")
             ),
         )
+        # Completed verbs cancel their timeout guard so the heap holds
+        # only live work (one guard per in-flight verb, not per issued).
+        done.add_callback(lambda _ev: sim.cancel(guard))
         self.verbs_issued += 1
         if obs_state.REGISTRY is not None:
             registry = obs_state.REGISTRY

@@ -1,0 +1,400 @@
+"""Fast-engine vs reference-engine equivalence, and fast-path regressions.
+
+``repro.sim.engine`` carries several optimisations (ready deque for
+zero-delay entries, single-callback slot, lazy timeout cancellation,
+heap compaction, skip-ahead ``run_until_settled``); ``repro.sim.
+reference`` is the verbatim pre-optimisation engine.  The contract is
+that both execute any schedule in exactly the same order at exactly the
+same virtual times — these tests drive identical workloads through both
+and compare full execution traces, then pin the fast-path edge cases
+individually (including the compaction-during-run bug where rebinding
+the queue containers instead of mutating them in place silently dropped
+events).
+"""
+
+import random
+
+import pytest
+
+from repro.sim import engine, reference
+
+ENGINES = [engine, reference]
+
+
+def _trace_of(mod, workload):
+    """Run *workload(sim, mod, mark)* to completion; return the trace."""
+    sim = mod.Simulator()
+    trace = []
+
+    def mark(tag):
+        trace.append((sim.now, tag))
+
+    workload(sim, mod, mark)
+    sim.run()
+    return trace
+
+
+def assert_equivalent(workload):
+    fast = _trace_of(engine, workload)
+    ref = _trace_of(reference, workload)
+    assert fast == ref
+    assert fast  # a workload that marks nothing tests nothing
+
+
+# -- trace equivalence -------------------------------------------------------
+
+
+class TestTraceEquivalence:
+    def test_same_timestamp_fifo(self):
+        """Zero-delay entries interleaved with delayed entries that land
+        at the same instant must run in seq order — the ready deque must
+        not jump ahead of (or fall behind) equal-time heap entries."""
+
+        def workload(sim, mod, mark):
+            def at_zero():
+                # Scheduled from inside a callback: lands in the ready
+                # deque at the same timestamp as the heap entries below.
+                sim.schedule(0.0, mark, "z1")
+                sim.schedule(2.0, mark, "d-later")
+                sim.schedule(0.0, mark, "z2")
+
+            sim.schedule(1.0, at_zero)
+            sim.schedule(1.0, mark, "d1")  # same instant as z1/z2
+            sim.schedule(1.0, mark, "d2")
+            sim.schedule(0.0, mark, "immediate")
+
+        assert_equivalent(workload)
+
+    def test_process_chains_and_combinators(self):
+        def workload(sim, mod, mark):
+            def worker(i):
+                yield sim.timeout(1.0 + i)
+                mark(f"w{i}.a")
+                yield sim.timeout(0.0)  # zero-delay resume
+                mark(f"w{i}.b")
+                return i * 10
+
+            procs = [sim.spawn(worker(i), name=f"w{i}") for i in range(4)]
+            q = mod.quorum(sim, procs, 2)
+            q.add_callback(lambda ev: mark(("quorum", ev.value)))
+            a = mod.all_of(sim, [sim.timeout(3.0, "x"), sim.timeout(1.0, "y")])
+            a.add_callback(lambda ev: mark(("all", ev.value)))
+            first = mod.any_of(sim, [sim.timeout(7.0), sim.timeout(2.0, "fast")])
+            first.add_callback(lambda ev: mark(("any", ev.value)))
+
+        assert_equivalent(workload)
+
+    def test_cancelled_guard_timers_are_invisible(self):
+        """The guard-timer pattern: the timeout's callback is a no-op
+        once the guarded event settled, so cancelling must not shift
+        the timing of anything else (on either engine — the reference
+        engine ignores cancel and fires the no-op for real)."""
+
+        def workload(sim, mod, mark):
+            def guarded(i):
+                done = sim.event()
+                guard = sim.schedule(50.0, done.try_fail, RuntimeError("to"))
+                sim.schedule(1.0 + i, done.try_trigger, i)
+                done.add_callback(lambda ev: sim.cancel(guard))
+                done.add_callback(lambda ev: mark(("done", i, ev.value)))
+
+            for i in range(30):
+                guarded(i)
+            sim.schedule(60.0, mark, "after-guard-window")
+
+        assert_equivalent(workload)
+
+    def test_randomised_schedules(self):
+        """Seeded op soup: schedules, timers (some cancelled), process
+        chains — interpreted identically on both engines."""
+        for seed in (7, 23, 101):
+            ops = self._build_ops(seed, n=300)
+
+            def workload(sim, mod, mark, ops=ops):
+                for op in ops:
+                    kind = op[0]
+                    if kind == "sched":
+                        _, delay, i = op
+                        sim.schedule(delay, mark, f"s{i}")
+                    elif kind == "timer":
+                        _, delay, cancelled, i = op
+                        timer = sim.timeout(delay)
+                        if cancelled:
+                            timer.add_callback(lambda _ev: None)
+                            timer.cancel()
+                        else:
+                            timer.add_callback(lambda _ev, i=i: mark(f"t{i}"))
+                    else:  # proc
+                        _, delay, steps, i = op
+
+                        def proc(delay=delay, steps=steps, i=i):
+                            for k in range(steps):
+                                yield sim.timeout(delay)
+                                mark(f"p{i}.{k}")
+
+                        sim.spawn(proc(), name=f"p{i}")
+
+            assert_equivalent(workload)
+
+    @staticmethod
+    def _build_ops(seed, n):
+        rng = random.Random(seed)
+        delays = (0.0, 0.0, 0.5, 1.0, 2.5, 2.5, 7.0, 40.0)
+        ops = []
+        for i in range(n):
+            r = rng.random()
+            if r < 0.4:
+                ops.append(("sched", rng.choice(delays), i))
+            elif r < 0.75:
+                ops.append(("timer", rng.choice(delays), rng.random() < 0.5, i))
+            else:
+                ops.append(("proc", rng.choice(delays), rng.randint(1, 3), i))
+        return ops
+
+
+# -- run_until_settled skip-ahead --------------------------------------------
+
+
+class TestRunUntilSettled:
+    @pytest.mark.parametrize("settle_at,deadline", [
+        (123_456.789, 500_000.0),   # many skipped steps, fractional time
+        (999.5, 500_000.0),         # inside the first step
+        (499_999.9, 500_000.0),     # just under the deadline
+    ])
+    def test_clock_matches_reference(self, settle_at, deadline):
+        outcomes = []
+        for mod in ENGINES:
+            sim = mod.Simulator()
+            done = sim.event()
+            sim.schedule(settle_at, done.try_trigger, "v")
+            # Background churn so the queue is never empty.
+            def heartbeat():
+                while True:
+                    yield sim.timeout(5_000.0)
+            sim.spawn(heartbeat(), name="hb")
+            settled = sim.run_until_settled(done, deadline=deadline)
+            outcomes.append((settled, sim.now))
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][0] is True
+
+    def test_never_settles_reaches_deadline(self):
+        outcomes = []
+        for mod in ENGINES:
+            sim = mod.Simulator()
+            done = sim.event()
+            sim.schedule(10.0, lambda: None)
+            settled = sim.run_until_settled(done, deadline=77_777.25)
+            outcomes.append((settled, sim.now))
+        assert outcomes[0] == outcomes[1] == (False, 77_777.25)
+
+    def test_empty_queue_jumps_to_deadline(self):
+        sim = engine.Simulator()
+        done = sim.event()
+        assert sim.run_until_settled(done, deadline=1_000.0) is False
+        assert sim.now == 1_000.0
+
+
+# -- fast-path edge cases ----------------------------------------------------
+
+
+class TestTimeoutCancel:
+    def test_cancel_pending(self):
+        sim = engine.Simulator()
+        timer = sim.timeout(10.0)
+        fired = []
+        timer.add_callback(fired.append)
+        assert timer.cancel() is True
+        assert timer.settled and timer.failed
+        sim.run()
+        assert fired == []  # detached callback never runs
+
+    def test_cancel_is_idempotent_and_late_cancel_noops(self):
+        sim = engine.Simulator()
+        timer = sim.timeout(10.0)
+        timer.add_callback(lambda _ev: None)
+        assert timer.cancel() is True
+        assert timer.cancel() is False
+        fired_timer = sim.timeout(1.0)
+        fired_timer.add_callback(lambda _ev: None)
+        sim.run()
+        assert fired_timer.ok
+        assert fired_timer.cancel() is False  # already fired
+
+    def test_consumed_entry_cannot_corrupt_cancel_count(self):
+        """A callback that fires keeps a reference to its own entry; a
+        late ``sim.cancel`` on it must not increment the dead-entry
+        counter (that drift made compaction fire on a clean heap)."""
+        sim = engine.Simulator()
+        entry = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.cancel(entry) is False
+        assert sim._cancelled == 0
+
+    def test_zero_delay_timeout_cancel(self):
+        sim = engine.Simulator()
+        timer = sim.timeout(0.0)  # lives in the ready deque, not the heap
+        timer.add_callback(lambda _ev: None)
+        assert timer.cancel() is True
+        marks = []
+        sim.schedule(0.0, marks.append, "ran")
+        sim.run()
+        assert marks == ["ran"]
+
+
+class TestCompactionDuringRun:
+    """Regression: compaction must mutate the queue containers in place.
+
+    ``run()`` holds local references to the heap and the ready deque; an
+    early version of ``_note_cancelled`` rebound ``self._queue`` and
+    ``self._ready`` to fresh containers during compaction, so every
+    event scheduled after the compaction point went into containers the
+    running loop never looked at — and silently never fired.
+    """
+
+    def test_mass_cancel_mid_run_keeps_live_events(self):
+        sim = engine.Simulator()
+        fired = []
+        # Enough dead timers to cross the compaction threshold (512).
+        timers = [sim.timeout(100.0 + i) for i in range(1500)]
+        for t in timers:
+            t.add_callback(lambda _ev: None)
+        survivors = [sim.timeout(200_000.0 + i) for i in range(20)]
+        for i, t in enumerate(survivors):
+            t.add_callback(lambda _ev, i=i: fired.append(f"live{i}"))
+
+        def mass_cancel():
+            for t in timers:
+                t.cancel()
+            # Scheduled *after* compaction ran: lands in whatever
+            # containers the simulator now points at.
+            sim.schedule(1.0, fired.append, "post-compaction")
+            sim.schedule(0.0, fired.append, "post-compaction-ready")
+
+        sim.schedule(1.0, mass_cancel)
+        sim.run()
+        assert fired[:2] == ["post-compaction-ready", "post-compaction"]
+        assert fired[2:] == [f"live{i}" for i in range(20)]
+        assert sim._cancelled == 0  # compaction reset the counter
+
+    def test_ready_deque_compaction_in_place(self):
+        sim = engine.Simulator()
+        fired = []
+
+        def burst():
+            doomed = [sim.timeout(0.0) for _ in range(600)]
+            for t in doomed:
+                t.add_callback(lambda _ev: None)
+            for t in doomed:
+                t.cancel()  # crosses the threshold; compacts the deque
+            sim.schedule(0.0, fired.append, "alive")
+
+        sim.schedule(0.0, burst)
+        sim.run()
+        assert fired == ["alive"]
+
+
+class TestStaleProcessCallbacks:
+    def test_killed_process_ignores_pending_resume(self):
+        sim = engine.Simulator()
+        gate = sim.event()
+        steps = []
+
+        def proc():
+            steps.append("start")
+            yield gate
+            steps.append("resumed")  # must never happen
+
+        process = sim.spawn(proc(), name="victim")
+        sim.run()
+        process.kill("crash injection")
+        assert process.failed
+        gate.trigger("late")  # the registered _resume fires, must no-op
+        sim.run()
+        assert steps == ["start"]
+
+    def test_kill_while_resume_scheduled(self):
+        """Kill between an event settling and the process advancing."""
+        sim = engine.Simulator()
+        steps = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            steps.append("after-timeout")
+
+        process = sim.spawn(proc(), name="victim")
+        sim.run(until=1.0)
+        process.kill()
+        sim.run()  # the timeout still fires; the dead process must not step
+        assert steps == []
+        assert process.failed and isinstance(process.exception, engine.ProcessKilled)
+
+    def test_joiner_sees_killed_process(self):
+        sim = engine.Simulator()
+        seen = []
+
+        def victim():
+            yield sim.timeout(100.0)
+
+        def joiner(target):
+            try:
+                yield target
+            except engine.ProcessKilled:
+                seen.append("killed")
+
+        target = sim.spawn(victim(), name="victim")
+        sim.spawn(joiner(target), name="joiner")
+        sim.run(until=1.0)
+        target.kill()
+        sim.run()
+        assert seen == ["killed"]
+
+
+class TestCombinatorSettledBehaviour:
+    def test_quorum_ignores_late_completions(self):
+        sim = engine.Simulator()
+        children = [sim.event() for _ in range(5)]
+        q = engine.quorum(sim, children, 2)
+        children[3].trigger("a")
+        children[1].trigger("b")
+        assert q.ok and q.value == [(3, "a"), (1, "b")]
+        assert q.events == ()  # child references dropped on settle
+        children[0].trigger("late")
+        children[4].fail(RuntimeError("late failure"))
+        assert q.value == [(3, "a"), (1, "b")]
+
+    def test_quorum_failure_path_drops_children(self):
+        sim = engine.Simulator()
+        children = [sim.event() for _ in range(3)]
+        q = engine.quorum(sim, children, 2)
+        children[0].fail(RuntimeError("x"))
+        children[2].fail(RuntimeError("y"))
+        assert q.failed and isinstance(q.exception, engine.QuorumError)
+        assert q.events == ()
+        children[1].trigger("late")  # must not resurrect the quorum
+        assert q.failed
+
+    def test_anyof_allof_drop_children(self):
+        sim = engine.Simulator()
+        a, b = sim.event(), sim.event()
+        first = engine.any_of(sim, [a, b])
+        a.trigger(1)
+        assert first.ok and first.events == ()
+        b.trigger(2)  # late, ignored
+        assert first.value == (0, 1)
+
+        c, d = sim.event(), sim.event()
+        both = engine.all_of(sim, [c, d])
+        c.trigger("c")
+        d.trigger("d")
+        assert both.ok and both.value == ["c", "d"]
+        assert both.events == ()
+
+    def test_many_callbacks_fire_in_registration_order(self):
+        """The single-slot + overflow-list split must preserve order."""
+        sim = engine.Simulator()
+        ev = sim.event()
+        order = []
+        for i in range(5):
+            ev.add_callback(lambda _ev, i=i: order.append(i))
+        ev.trigger()
+        assert order == [0, 1, 2, 3, 4]
