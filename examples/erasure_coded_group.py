@@ -1,39 +1,28 @@
 #!/usr/bin/env python3
 """Sift EC: halve the memory bill, keep the fault tolerance (§5.1).
 
-Builds a plain group and an erasure-coded group side by side, compares
-the per-node memory footprint, then kills a data-shard memory node in
-the EC group and shows reads rebuilding blocks from parity while the
+Builds a plain group and an erasure-coded group side by side — two
+:func:`repro.api.Cluster.build` calls sharing one fabric — compares the
+per-node memory footprint, then kills a data-shard memory node in the
+EC group and shows reads rebuilding blocks from parity while the
 coordinator re-copies the node in the background.
 
 Run:  python examples/erasure_coded_group.py
 """
 
+from repro.api import Cluster
 from repro.bench.report import kv_table
-from repro.core import SiftGroup
-from repro.kv import KvClient, KvConfig, kv_app_factory
-from repro.net import Fabric
-from repro.sim import MS, SEC, Simulator
+from repro.sim import MS, SEC
 
-
-def build(fabric, name, erasure_coding):
-    kv_config = KvConfig(max_keys=4_096, wal_entries=1_024)
-    sift_config = kv_config.sift_config(
-        fm=1, fc=1, erasure_coding=erasure_coding, wal_entries=1_024,
-        memnode_poll_interval_us=50 * MS,
-    )
-    group = SiftGroup(
-        fabric, sift_config, name=name, app_factory=kv_app_factory(kv_config)
-    )
-    group.start()
-    return group, sift_config
+KV_OVERRIDES = dict(max_keys=4_096, wal_entries=1_024)
 
 
 def main() -> None:
-    sim = Simulator()
-    fabric = Fabric(sim)
-    plain, plain_config = build(fabric, "plain", erasure_coding=False)
-    coded, coded_config = build(fabric, "coded", erasure_coding=True)
+    plain = Cluster.build("sift", seed=11, kv_overrides=KV_OVERRIDES)
+    coded = Cluster.build("sift-ec", fabric=plain.fabric, kv_overrides=KV_OVERRIDES)
+    plain_config = plain.inner.config
+    coded_config = coded.inner.config
+    sim = plain.sim
 
     encoded_per_node = coded_config.encoded_blocks * coded_config.chunk_bytes
     print(
@@ -52,17 +41,18 @@ def main() -> None:
         )
     )
 
-    client = KvClient(fabric.add_host("client", cores=4), fabric, coded)
+    group = coded.inner
+    client = coded.client(name="client")
 
     def scenario():
-        yield from coded.wait_until_serving(timeout_us=2 * SEC)
+        yield from coded.ready()
         for index in range(256):
             yield from client.put(b"doc:%d" % index, b"%d-" % index * 100)
 
-        coordinator = coded.serving_coordinator()
+        coordinator = group.serving_coordinator()
         repmem = coordinator.repmem
-        print(f"\nkilling data-shard memory node 0 of {coded.name}...")
-        coded.crash_memory_node(0)
+        print(f"\nkilling data-shard memory node 0 of {group.name}...")
+        group.crash_memory_node(0)
 
         # Reads keep working: a cache miss now rebuilds the block from
         # the surviving data shard plus parity (decode on coordinator).
@@ -76,7 +66,7 @@ def main() -> None:
         print(f"degraded reads ok (parity decodes so far: {repmem.stats['ec_decodes']})")
 
         print("restarting the node; coordinator re-copies it in the background...")
-        coded.restart_memory_node(0)
+        group.restart_memory_node(0)
         deadline = sim.now + 30 * SEC
         while repmem.states[0] != "live" and sim.now < deadline:
             yield sim.timeout(20 * MS)
@@ -86,10 +76,7 @@ def main() -> None:
         assert value == b"200-" * 100
         print("store intact after recovery.")
 
-    process = sim.spawn(scenario(), name="scenario")
-    sim.run(until=60 * SEC)
-    if not process.ok:
-        raise SystemExit(f"scenario failed: {process.exception}")
+    coded.run(scenario())
 
 
 if __name__ == "__main__":

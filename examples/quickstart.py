@@ -1,35 +1,27 @@
 #!/usr/bin/env python3
 """Quickstart: a fault-tolerant key-value store on one Sift group.
 
-Boots a Sift group (3 memory nodes + 2 CPU nodes, F=1) on a simulated
-RDMA fabric, serves puts/gets through the replicated KV store, then
-kills the coordinator mid-workload and shows the backup CPU node taking
-over with no data loss.
+Boots a Sift group (3 memory nodes + 2 CPU nodes, F=1) through the
+:mod:`repro.api` façade, serves puts/gets through the replicated KV
+store, then kills the coordinator mid-workload and shows the backup CPU
+node taking over with no data loss.
 
 Run:  python examples/quickstart.py
 """
 
+from repro.api import Cluster
 from repro.bench.report import kv_table
-from repro.core import SiftGroup
-from repro.kv import KvClient, KvConfig, kv_app_factory
-from repro.net import Fabric
-from repro.sim import SEC, Simulator
 
 
 def main() -> None:
-    sim = Simulator()
-    fabric = Fabric(sim)
-
-    # A small store: 8k keys, 32B keys / 992B values (the paper's sizes).
-    kv_config = KvConfig(max_keys=8_192, wal_entries=2_048)
-    sift_config = kv_config.sift_config(fm=1, fc=1, wal_entries=2_048)
-    group = SiftGroup(fabric, sift_config, name="demo", app_factory=kv_app_factory(kv_config))
-    group.start()
-
-    client = KvClient(fabric.add_host("client", cores=4), fabric, group)
+    # One call builds simulator + fabric + group and starts it — the same
+    # spec the benchmark harness uses (see repro.bench.systems).
+    cluster = Cluster.build("sift", seed=42)
+    group = cluster.inner
+    client = cluster.client(name="client")
 
     def scenario():
-        coordinator = yield from group.wait_until_serving(timeout_us=2 * SEC)
+        coordinator = yield from cluster.ready()
         print(f"coordinator elected: {coordinator.name} (term {coordinator.term})")
 
         yield from client.put(b"user:42", b"Ada Lovelace")
@@ -51,20 +43,16 @@ def main() -> None:
         print(f"put+get after failover -> {value!r}")
         return survivor
 
-    process = sim.spawn(scenario(), name="scenario")
-    sim.run(until=30 * SEC)
-    if not process.ok:
-        raise SystemExit(f"scenario failed: {process.exception}")
+    survivor = cluster.run(scenario())
 
-    survivor = process.value
     print()
     print(
         kv_table(
             "Summary",
             [
-                ("simulated time", f"{sim.now / 1e6:.3f} s"),
+                ("simulated time", f"{cluster.sim.now / 1e6:.3f} s"),
                 ("coordinator after failover", survivor.name),
-                ("client retries", str(survivor is not None and client.stats["retries"])),
+                ("client retries", str(client.stats["retries"])),
                 ("KV server applies", str(survivor.app.stats["applies"])),
                 ("records replayed at takeover", str(survivor.app.stats["replayed"])),
             ],

@@ -1,73 +1,68 @@
 #!/usr/bin/env python3
 """Shared backup CPU nodes across consensus groups (§5.2).
 
-Runs several single-CPU-node Sift groups plus a small shared backup
-pool.  When a group's only CPU node dies, a pool monitor detects the
-silent heartbeats and promotes an idle backup into the group, which
-campaigns, recovers, and resumes service — G + B CPU nodes instead of
-(F + 1) x G.
+Builds the sharded KV service through the :mod:`repro.api` façade:
+several single-CPU-node Sift groups behind a consistent-hash router,
+plus a small shared backup pool.  When a shard's only CPU node dies,
+the pool monitor detects the silent heartbeats and promotes an idle
+backup into the group, which campaigns, recovers, and resumes service —
+G + B CPU nodes instead of (F + 1) x G.
 
 Run:  python examples/shared_backup_fleet.py
 """
 
-from repro.core import BackupPool, SiftGroup
-from repro.kv import KvClient, KvConfig, kv_app_factory
-from repro.net import Fabric
-from repro.sim import SEC, Simulator
+from repro.api import Cluster
+from repro.sim import SEC
 
-N_GROUPS = 3
+N_SHARDS = 3
 
 
 def main() -> None:
-    sim = Simulator()
-    fabric = Fabric(sim)
-
-    kv_config = KvConfig(max_keys=2_048, wal_entries=512)
-    groups = []
-    for index in range(N_GROUPS):
-        # fc=0: one CPU node per group; the pool supplies redundancy.
-        sift_config = kv_config.sift_config(fm=1, fc=0, wal_entries=512)
-        group = SiftGroup(
-            fabric, sift_config, name=f"g{index}", app_factory=kv_app_factory(kv_config)
-        )
-        group.start()
-        groups.append(group)
-
-    pool = BackupPool(fabric, groups, size=2, provisioning_delay_us=2 * SEC)
-    pool.start()
-    clients = [
-        KvClient(fabric.add_host(f"client{index}", cores=2), fabric, group)
-        for index, group in enumerate(groups)
-    ]
+    cluster = Cluster.build(
+        "sharded",
+        seed=7,
+        shards=N_SHARDS,
+        backups=2,
+        provisioning_delay_us=2 * SEC,
+    )
+    service = cluster.inner
+    router = cluster.client()  # a ShardRouter: routes each key to its shard
 
     def scenario():
-        for index, group in enumerate(groups):
-            yield from group.wait_until_serving(timeout_us=3 * SEC)
-            yield from clients[index].put(b"group", b"g%d-data" % index)
-        print(f"{N_GROUPS} groups serving with 1 CPU node each + {pool.idle_backups} shared backups")
+        yield from cluster.ready()
+        for index in range(12):
+            yield from router.put(b"item:%d" % index, b"payload-%d" % index)
+        pool = service.pool
+        print(
+            f"{N_SHARDS} shards serving with 1 CPU node each"
+            f" + {pool.idle_backups} shared backups"
+        )
 
-        victim = groups[1]
-        print(f"\nkilling the only CPU node of {victim.name}...")
-        victim.cpu_nodes[0].crash()
+        probe = b"item:0"
+        victim = service.shard_for(probe)
+        print(f"\nkilling the only CPU node of {victim} (owns {probe!r})...")
+        service.crash_coordinator(victim)
 
-        # The pool monitor notices the dead group and promotes a backup.
-        value = yield from clients[1].get(b"group")
-        print(f"{victim.name} recovered via backup promotion: get -> {value!r}")
+        # The pool monitor notices the dead shard and promotes a backup;
+        # the router's retry loop rides out the failover transparently.
+        value = yield from router.get(probe)
+        promo = pool.promotion_log[-1]
+        print(f"{victim} recovered via promotion of {promo.host}: get -> {value!r}")
         print(f"promotions: {pool.promotions}, idle backups now: {pool.idle_backups}")
 
-        # Other groups were never disturbed.
-        value = yield from clients[2].get(b"group")
-        assert value == b"g2-data"
-        print("unrelated groups unaffected.")
+        # Keys on other shards were never disturbed.
+        for index in range(12):
+            key = b"item:%d" % index
+            if service.shard_for(key) != victim:
+                value = yield from router.get(key)
+                assert value == b"payload-%d" % index
+        print("unrelated shards unaffected.")
 
         # The pool replenishes itself after the provisioning delay.
-        yield sim.timeout(3 * SEC)
+        yield cluster.sim.timeout(3 * SEC)
         print(f"after provisioning: idle backups = {pool.idle_backups}")
 
-    process = sim.spawn(scenario(), name="scenario")
-    sim.run(until=60 * SEC)
-    if not process.ok:
-        raise SystemExit(f"scenario failed: {process.exception}")
+    cluster.run(scenario())
 
 
 if __name__ == "__main__":

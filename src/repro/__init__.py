@@ -26,8 +26,13 @@ The package is organised as a stack of subsystems:
     Cloud cost model, failure traces and shared-backup-pool analysis.
 ``repro.bench``
     Experiment harness regenerating every table and figure of the paper.
+``repro.shard``
+    Multi-group sharded KV service over a live shared backup pool.
+``repro.api``
+    The cluster façade: one construction path for every system.
 """
 
 from repro._version import __version__
+from repro.errors import ReproError
 
-__all__ = ["__version__"]
+__all__ = ["ReproError", "__version__"]

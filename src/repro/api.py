@@ -1,0 +1,164 @@
+"""One front door for every system the reproduction can build.
+
+Constructing an experiment by hand takes four layers — simulator,
+fabric, config, cluster — and each system (Sift, Sift EC, Raft-R,
+EPaxos, the sharded service) spells them slightly differently.  This
+façade folds all of that behind three calls::
+
+    from repro.api import Cluster
+
+    cluster = Cluster.build("sift", seed=7)
+    client = cluster.client()
+
+    def scenario():
+        yield from cluster.ready()
+        yield from client.put(b"user:42", b"Ada Lovelace")
+        return (yield from client.get(b"user:42"))
+
+    value = cluster.run(scenario())
+
+``build`` accepts any name from :data:`SYSTEMS` and delegates to the
+exact same :class:`~repro.bench.systems.SystemSpec` factories the
+benchmark harness uses — same host names, same construction order, same
+RNG streams — so a façade-built cluster is indistinguishable from a
+harness-built one (the figure baselines depend on that).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.net.fabric import Fabric
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.units import SEC
+
+__all__ = ["Cluster", "ScenarioFailed", "SYSTEMS", "system_spec"]
+
+#: Every system ``Cluster.build`` understands.
+SYSTEMS = ("sift", "sift-ec", "raft-r", "epaxos", "sharded")
+
+
+class ScenarioFailed(ReproError):
+    """A process handed to :meth:`Cluster.run` failed or never settled."""
+
+
+def system_spec(system: str, scale=None, cores: Optional[int] = None, **options):
+    """The :class:`~repro.bench.systems.SystemSpec` for a system name.
+
+    *options* are forwarded to the spec factory (``shards=...``,
+    ``backups=...`` for ``sharded``; ``kv_overrides=...`` for Sift).
+    """
+    from repro.bench.calibration import DEFAULT_SCALE
+    from repro.bench.systems import epaxos_spec, raft_spec, sharded_spec, sift_spec
+
+    scale = scale or DEFAULT_SCALE
+    if system == "sift":
+        return sift_spec(cores=cores, scale=scale, **options)
+    if system == "sift-ec":
+        return sift_spec(erasure_coding=True, cores=cores, scale=scale, **options)
+    if system == "raft-r":
+        return raft_spec(cores=cores or 8, scale=scale, **options)
+    if system == "epaxos":
+        return epaxos_spec(cores=cores or 8, scale=scale, **options)
+    if system == "sharded":
+        return sharded_spec(scale=scale, cores=cores, **options)
+    raise ValueError(f"unknown system {system!r}; pick one of {SYSTEMS}")
+
+
+class Cluster:
+    """A built system plus the simulator loop that drives it."""
+
+    def __init__(self, spec, fabric: Fabric, inner):
+        self.spec = spec
+        self.fabric = fabric
+        self.sim: Simulator = fabric.sim
+        self.inner = inner
+        self._client_ids = count()
+
+    @classmethod
+    def build(
+        cls,
+        system: str = "sift",
+        seed: int = 0,
+        fabric: Optional[Fabric] = None,
+        scale=None,
+        cores: Optional[int] = None,
+        **options,
+    ) -> "Cluster":
+        """Build and start *system* on a fresh seeded fabric.
+
+        Pass an existing *fabric* to co-locate several systems on one
+        simulation (then *seed* is ignored — the fabric owns the RNG).
+        """
+        spec = system_spec(system, scale=scale, cores=cores, **options)
+        if fabric is None:
+            fabric = Fabric(Simulator(), rng=RngStreams(seed=seed))
+        return cls(spec, fabric, spec.build(fabric))
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+
+    def client(self, name: Optional[str] = None, cores: int = 4, **kwargs):
+        """A KV client on its own fresh host.
+
+        Returns a :class:`~repro.shard.router.ShardRouter` for the
+        sharded service and a :class:`~repro.kv.client.KvClient`
+        otherwise (Raft-R and EPaxos expose the same endpoint surface);
+        *kwargs* reach the client constructor (timeouts, retry policy).
+        """
+        from repro.kv.client import KvClient
+        from repro.shard.router import ShardRouter
+        from repro.shard.service import ShardedKvService
+
+        if name is None:
+            # Several Clusters may share one fabric; skip taken names.
+            name = f"client-{next(self._client_ids)}"
+            while name in self.fabric.hosts:
+                name = f"client-{next(self._client_ids)}"
+        host = self.fabric.add_host(name, cores=cores)
+        factory = ShardRouter if isinstance(self.inner, ShardedKvService) else KvClient
+        return factory(host, self.fabric, self.inner, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Driving the simulation
+    # ------------------------------------------------------------------
+
+    def ready(self):
+        """Process: the spec's readiness condition (compose into scenarios)."""
+        result = yield from self.spec.wait_ready(self.inner)
+        return result
+
+    def wait_ready(self, deadline_us: float = 30 * SEC):
+        """Run the simulator until the cluster serves; returns the leader."""
+        return self.run(self.ready(), deadline_us=deadline_us)
+
+    def preload(self, items) -> None:
+        """Synchronous §6.2 pre-population of ``(key, value)`` pairs."""
+        self.spec.preload(self.inner, items)
+
+    def run(self, process=None, until: Optional[float] = None, deadline_us: float = 120 * SEC):
+        """Drive the simulation.
+
+        With a generator *process*: spawn it, run until it settles (at
+        most *deadline_us* more simulated time), re-raise its failure,
+        and return its value.  Without one: advance simulated time to
+        *until* (or drain the event queue).
+        """
+        if process is None:
+            self.sim.run(until=until)
+            return None
+        spawned = self.sim.spawn(process, name="api-scenario")
+        spawned.add_callback(lambda _ev: None)  # outcome re-raised below
+        self.sim.run_until_settled(spawned, deadline=self.sim.now + deadline_us)
+        if not spawned.settled:
+            raise ScenarioFailed(f"scenario still running after {deadline_us}us")
+        if spawned.failed:
+            raise spawned.exception
+        return spawned.value
+
+    def __repr__(self) -> str:
+        return f"<Cluster {self.spec.name} inner={self.inner!r}>"

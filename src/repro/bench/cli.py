@@ -46,6 +46,8 @@ from repro.bench.points import (
     build_spec,
     fig5_points,
     fig6_points,
+    fig8live_params,
+    fig8live_points,
     fig11_points,
     fig11_timings,
 )
@@ -179,6 +181,46 @@ def cmd_fig8(_args, _scale):
     }
 
 
+def cmd_fig8live(args, scale):
+    """The live counterpart of fig8: real groups, a real promoting pool.
+
+    Where fig8 replays a failure trace through the capacity model, this
+    runs staggered coordinator crashes against a live
+    :class:`~repro.shard.ShardedKvService` and reconciles the measured
+    promotion waits with the same :class:`PoolAccountant` the model
+    uses.  ``--shards`` overrides the swept shard counts.
+    """
+    params = fig8live_params(args.smoke)
+    points = fig8live_points(scale, args.seed, args.smoke, shard_counts=args.shards)
+    results = run_points(points, jobs=args.jobs, progress=_progress)
+    rows = []
+    for point in points:
+        cell = results[point.key]
+        rows.append(
+            (
+                point.key,
+                f"live {cell['live_per_fault_us'] / 1e6:7.3f} s/fault  "
+                f"model {cell['model_per_fault_us'] / 1e6:7.3f} s/fault  "
+                f"{'agrees' if cell['agrees'] else 'DISAGREES'} "
+                f"(tolerance {cell['tolerance_us'] / 1e6:.3f} s)",
+            )
+        )
+    print(kv_table("Figure 8 (live): shared pool vs trace model", rows))
+    if not all(results[point.key]["agrees"] for point in points):
+        print("WARNING: live pool diverged from the trace model", file=sys.stderr)
+        args._failed = True  # main() turns this into a non-zero exit
+    return {
+        "simulated": {point.key: results[point.key] for point in points},
+        "params": {
+            "backups": params["backups"],
+            "provisioning_delay_us": params["provisioning_delay_us"],
+            "fault_gap_us": params["fault_gap_us"],
+            "repetitions": params["repetitions"],
+            "shards": [p.kwargs["shards"] for p in points],
+        },
+    }
+
+
 def cmd_fig9(_args, _scale):
     costs = {p: relative_costs(p, 1) for p in ("aws", "gcp")}
     labels = list(costs["aws"])
@@ -262,6 +304,7 @@ COMMANDS = {
     "fig5": cmd_fig5,
     "fig6": cmd_fig6,
     "fig8": cmd_fig8,
+    "fig8live": cmd_fig8live,
     "fig9": cmd_fig9,
     "fig10": cmd_fig10,
     "fig11": cmd_fig11,
@@ -312,7 +355,11 @@ def main(argv=None) -> int:
              "(fig7/fig12 run via pytest benchmarks/)",
     )
     parser.add_argument("--system", default="sift",
-                        choices=["sift", "sift-ec", "raft-r", "epaxos"])
+                        choices=["sift", "sift-ec", "raft-r", "epaxos", "sharded"])
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=None, metavar="G",
+        help="shard counts swept by fig8live (default: per-scale preset)",
+    )
     parser.add_argument("--workload", default="read-heavy", choices=list(WORKLOADS))
     parser.add_argument("--cores", type=int, default=None)
     parser.add_argument("--seed", type=int, default=1,
@@ -350,7 +397,7 @@ def main(argv=None) -> int:
             parser.error(f"unknown experiment: {experiment}")
         _run_one(experiment, args, scale)
         print()
-    return 0
+    return 1 if getattr(args, "_failed", False) else 0
 
 
 if __name__ == "__main__":

@@ -14,10 +14,11 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.api import system_spec
 from repro.bench.calibration import BenchScale
 from repro.bench.parallel import Point
 from repro.bench.runner import run_latency, run_throughput, run_timeline
-from repro.bench.systems import epaxos_spec, raft_spec, sift_spec
+from repro.bench.systems import sift_spec
 from repro.chaos import FaultSchedule
 from repro.sim.units import MS, SEC
 from repro.workloads import WORKLOADS
@@ -28,10 +29,13 @@ __all__ = [
     "FIG6_SYSTEMS",
     "fig5_points",
     "fig6_points",
+    "fig8live_params",
+    "fig8live_points",
     "fig11_points",
     "fig11_timings",
     "throughput_point",
     "latency_point",
+    "live_pool_point",
     "memnode_failure_point",
 ]
 
@@ -42,17 +46,12 @@ FIG5_SYSTEMS = ("epaxos", "sift-ec", "sift", "raft-r")
 FIG6_SYSTEMS = ("raft-r", "sift", "sift-ec", "epaxos")
 
 
-def build_spec(name: str, scale: BenchScale, cores=None):
-    """System spec by CLI name (sift / sift-ec / raft-r / epaxos)."""
-    if name == "sift":
-        return sift_spec(cores=cores, scale=scale)
-    if name == "sift-ec":
-        return sift_spec(erasure_coding=True, cores=cores, scale=scale)
-    if name == "raft-r":
-        return raft_spec(cores=cores or 8, scale=scale)
-    if name == "epaxos":
-        return epaxos_spec(cores=cores or 8, scale=scale)
-    raise SystemExit(f"unknown system: {name}")
+def build_spec(name: str, scale: BenchScale, cores=None, **options):
+    """System spec by CLI name, via the :mod:`repro.api` dispatch."""
+    try:
+        return system_spec(name, scale=scale, cores=cores, **options)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 # -- point functions (top-level, picklable) ---------------------------------
@@ -140,6 +139,181 @@ def memnode_failure_point(smoke: bool, scale: BenchScale, seed: int) -> dict:
         "events": [[t, label] for t, label in result.events],
         "recovery_s": recovery_s,
     }
+
+
+def _live_pool_run(
+    shards: int,
+    backups: int,
+    provisioning_delay_us: float,
+    faults: int,
+    fault_gap_us: float,
+    scale: BenchScale,
+    seed: int,
+) -> dict:
+    """One live-pool repetition: staggered coordinator crashes, measured
+    promotion waits, and the :class:`PoolAccountant` replay of the same
+    fault times.  Everything returned is deterministic in *seed*."""
+    from repro.api import Cluster
+    from repro.cluster.backups import PoolAccountant
+
+    cluster = Cluster.build(
+        "sharded",
+        seed=seed,
+        scale=scale,
+        shards=shards,
+        backups=backups,
+        provisioning_delay_us=provisioning_delay_us,
+        name=f"live{shards}-g",
+    )
+    service = cluster.inner
+    sim = cluster.sim
+    router = cluster.client()
+    crash_times_us: List[float] = []
+
+    def driver():
+        yield from service.wait_until_serving(20 * SEC)
+        for index in range(8):
+            yield from router.put(b"live:%d" % index, b"v%d" % index)
+        base = sim.now
+        for fault in range(faults):
+            due = base + (fault + 1) * fault_gap_us
+            if due > sim.now:
+                yield sim.timeout(due - sim.now)
+            # Round-robin over shards; make sure the crash hits a live
+            # coordinator so every scheduled fault charges the pool.
+            target = service.groups[fault % shards]
+            yield from target.wait_until_serving(
+                faults * provisioning_delay_us + 20 * SEC
+            )
+            target.crash_coordinator()
+            crash_times_us.append(sim.now)
+        while service.pool.promotions < faults:
+            yield sim.timeout(50 * MS)
+        yield from service.wait_until_serving(
+            faults * provisioning_delay_us + 20 * SEC
+        )
+        for index in range(8):
+            value = yield from router.get(b"live:%d" % index)
+            if value != b"v%d" % index:
+                raise AssertionError(f"lost live:{index} across promotions")
+
+    cluster.run(driver(), deadline_us=(faults + 2) * (provisioning_delay_us + 20 * SEC))
+    service.stop()
+
+    pool = service.pool
+    model = PoolAccountant(backups, provision_s=provisioning_delay_us / 1e6)
+    for crash_us in crash_times_us:
+        model.fault(crash_us / 1e6)
+    detections = [
+        record.request_us - crash_us
+        for record, crash_us in zip(pool.promotion_log, crash_times_us)
+    ]
+    return {
+        "live_per_fault_us": pool.recovery_wait_us_per_fault(),
+        "model_per_fault_us": model.per_fault_s() * 1e6,
+        "live_waits": pool.waits,
+        "model_waits": model.waits,
+        "promotions": pool.promotions,
+        "detection_mean_us": sum(detections) / len(detections) if detections else 0.0,
+        "crash_times_us": crash_times_us,
+        "promotion_waits_us": [record.wait_us for record in pool.promotion_log],
+    }
+
+
+def live_pool_point(
+    shards: int,
+    backups: int,
+    provisioning_delay_us: float,
+    faults: int,
+    fault_gap_us: float,
+    repetitions: int,
+    scale: BenchScale,
+    seed: int,
+) -> dict:
+    """One fig8live cell: the live shared pool vs the Figure 8 trace
+    model at one shard count.
+
+    The model replays the *live run's own* fault times through
+    :class:`~repro.cluster.backups.PoolAccountant`, so the only gap
+    between the two numbers is failure detection (watchdog heartbeat
+    reads), which the live measurement excludes by charging waits from
+    promotion request time.  ``agrees`` demands the means match within
+    the seeded repetition band plus twice the mean detection latency.
+    """
+    reps = [
+        _live_pool_run(
+            shards, backups, provisioning_delay_us, faults, fault_gap_us,
+            scale, seed + repetition,
+        )
+        for repetition in range(repetitions)
+    ]
+    live = [r["live_per_fault_us"] for r in reps]
+    model = [r["model_per_fault_us"] for r in reps]
+    live_mean = sum(live) / len(live)
+    model_mean = sum(model) / len(model)
+    band_us = max(live) - min(live)
+    detection_us = max(r["detection_mean_us"] for r in reps)
+    tolerance_us = band_us + 2.0 * detection_us
+    return {
+        "live_per_fault_us": live_mean,
+        "model_per_fault_us": model_mean,
+        "band_us": band_us,
+        "tolerance_us": tolerance_us,
+        "agrees": abs(live_mean - model_mean) <= tolerance_us,
+        "repetitions": reps,
+    }
+
+
+def fig8live_params(smoke: bool) -> dict:
+    """(backups, delay, faults-per-shard-count, gap, reps) for fig8live.
+
+    The gap is deliberately shorter than the provisioning delay so the
+    middle faults hit an exhausted pool and the *waiting* path — where
+    the live pool and the trace model can actually disagree — is
+    exercised, not just the idle-spare fast path.
+    """
+    if smoke:
+        return dict(
+            backups=1,
+            provisioning_delay_us=1.5 * SEC,
+            fault_gap_us=0.4 * SEC,
+            repetitions=2,
+            shard_counts=[2, 3],
+        )
+    return dict(
+        backups=1,
+        provisioning_delay_us=5 * SEC,
+        fault_gap_us=1.25 * SEC,
+        repetitions=3,
+        shard_counts=[2, 4],
+    )
+
+
+def fig8live_points(
+    scale: BenchScale, seed: int, smoke: bool, shard_counts=None
+) -> List[Point]:
+    """One point per shard count (the ``--shards`` sweep)."""
+    params = fig8live_params(smoke)
+    counts = list(shard_counts) if shard_counts else params["shard_counts"]
+    points = []
+    for shards in counts:
+        points.append(
+            Point(
+                key=f"sharded/{shards}",
+                fn=live_pool_point,
+                kwargs={
+                    "shards": shards,
+                    "backups": params["backups"],
+                    "provisioning_delay_us": params["provisioning_delay_us"],
+                    "faults": shards + 1,
+                    "fault_gap_us": params["fault_gap_us"],
+                    "repetitions": params["repetitions"],
+                    "scale": scale,
+                    "seed": seed,
+                },
+            )
+        )
+    return points
 
 
 # -- figure point lists (declared order == serial order == merge order) -----

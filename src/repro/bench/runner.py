@@ -105,7 +105,7 @@ def _drive(
     sampler = sampler or ZipfSampler(scale.keys, scale.zipf_theta)
     pool = ClientPool(
         fabric, cluster, n_clients, mix, sampler, metrics,
-        value_bytes=scale.value_bytes,
+        value_bytes=scale.value_bytes, client_factory=spec.client_factory,
     )
 
     ready = sim.spawn(spec.wait_ready(cluster), name="wait-ready")
@@ -195,7 +195,7 @@ def run_timeline(
     sampler = ZipfSampler(scale.keys, scale.zipf_theta)
     pool = ClientPool(
         fabric, cluster, n_clients, mix, sampler, metrics,
-        value_bytes=scale.value_bytes,
+        value_bytes=scale.value_bytes, client_factory=spec.client_factory,
     )
 
     ready = sim.spawn(spec.wait_ready(cluster), name="wait-ready")

@@ -23,7 +23,7 @@ from repro.kv.store import kv_app_factory
 from repro.net.fabric import Fabric
 from repro.sim.units import SEC
 
-__all__ = ["SystemSpec", "sift_spec", "raft_spec", "epaxos_spec"]
+__all__ = ["SystemSpec", "sift_spec", "raft_spec", "epaxos_spec", "sharded_spec"]
 
 
 @dataclass(frozen=True)
@@ -34,6 +34,8 @@ class SystemSpec:
     build: Callable[[Fabric], object]
     wait_ready: Callable[[object], object]  # (cluster) -> process generator
     preload: Callable[[object, Iterable[Tuple[bytes, bytes]]], None]
+    #: Client constructor ``(host, fabric, cluster)``; None -> KvClient.
+    client_factory: Optional[Callable] = None
 
 
 # ---------------------------------------------------------------------------
@@ -93,6 +95,67 @@ def sift_spec(
 # ---------------------------------------------------------------------------
 # Raft-R
 # ---------------------------------------------------------------------------
+
+
+def sharded_spec(
+    shards: int = 2,
+    backups: int = 1,
+    provisioning_delay_us: float = 100 * SEC,
+    cores: Optional[int] = None,
+    scale: BenchScale = DEFAULT_SCALE,
+    kv_overrides: Optional[dict] = None,
+    **service_overrides,
+) -> SystemSpec:
+    """The multi-group sharded KV service over a live shared backup pool."""
+    from collections import defaultdict
+
+    from repro.shard.service import ShardedKvService
+
+    kv_kwargs = dict(
+        max_keys=scale.keys + 1024,
+        wal_entries=scale.kv_wal_entries,
+    )
+    kv_kwargs.update(kv_overrides or {})
+    kv_config = KvConfig(**kv_kwargs)
+    if cores is not None:
+        service_overrides.setdefault("cpu_node_cores", cores)
+
+    def build(fabric: Fabric) -> ShardedKvService:
+        service = ShardedKvService(
+            fabric,
+            shards=shards,
+            backups=backups,
+            kv_config=kv_config,
+            provisioning_delay_us=provisioning_delay_us,
+            wal_entries=scale.wal_entries,
+            **service_overrides,
+        )
+        service.start()
+        return service
+
+    def wait_ready(service: ShardedKvService):
+        result = yield from service.wait_until_serving(timeout_us=10 * SEC)
+        return result
+
+    def preload(service: ShardedKvService, items) -> None:
+        by_shard = defaultdict(list)
+        for key, value in items:
+            by_shard[service.shard_for(key)].append((key, value))
+        for shard_name, shard_items in by_shard.items():
+            coordinator = service.group(shard_name).serving_coordinator()
+            if coordinator is None:
+                raise RuntimeError(f"preload requires {shard_name} to be serving")
+            coordinator.app.preload(shard_items)
+
+    from repro.shard.router import ShardRouter
+
+    return SystemSpec(
+        name="sharded",
+        build=build,
+        wait_ready=wait_ready,
+        preload=preload,
+        client_factory=ShardRouter,
+    )
 
 
 def raft_spec(

@@ -14,6 +14,7 @@ from repro.chaos.adapters import (
     ClusterAdapter,
     EPaxosAdapter,
     RaftAdapter,
+    ShardedAdapter,
     SiftAdapter,
     UnsupportedFault,
     adapter_for,
@@ -37,6 +38,7 @@ __all__ = [
     "ChaosController",
     "ClusterAdapter",
     "SiftAdapter",
+    "ShardedAdapter",
     "RaftAdapter",
     "EPaxosAdapter",
     "UnsupportedFault",

@@ -23,6 +23,7 @@ __all__ = [
     "UnsupportedFault",
     "ClusterAdapter",
     "SiftAdapter",
+    "ShardedAdapter",
     "RaftAdapter",
     "EPaxosAdapter",
     "ChaosController",
@@ -165,6 +166,71 @@ class SiftAdapter(ClusterAdapter):
         self.cluster.restart_memory_node(index)
 
 
+class ShardedAdapter(ClusterAdapter):
+    """The sharded KV service: G groups, each with its own coordinator.
+
+    G simultaneous coordinators are legitimate here, so the global
+    leader-uniqueness invariant does not apply (``leader_based=False``);
+    per-group uniqueness is enforced inside each group's election.
+    Nodes are addressed by flattened index across shards (in shard
+    order, promoted backups included), and readiness means *every*
+    shard serves — after a coordinator crash, liveness therefore
+    requires the shared backup pool to actually promote.
+    """
+
+    kind = "sharded"
+    leader_based = False
+
+    def nodes(self):
+        return self.cluster.cpu_nodes
+
+    def _memory_nodes(self):
+        return [m for group in self.cluster.groups for m in group.memory_nodes]
+
+    def server_host_names(self):
+        return [n.host.name for n in self.cluster.cpu_nodes] + [
+            m.host.name for m in self._memory_nodes()
+        ]
+
+    def leaders(self):
+        return [
+            (node.host.name, node.term)
+            for node in self.cluster.cpu_nodes
+            if node.is_coordinator and node.host.alive
+        ]
+
+    def leader_index(self):
+        for index, node in enumerate(self.cluster.cpu_nodes):
+            if node.is_coordinator and node.host.alive:
+                return index
+        return None
+
+    def is_serving(self):
+        return all(
+            group.serving_coordinator() is not None for group in self.cluster.groups
+        )
+
+    def crash_node(self, index):
+        self.nodes()[index].crash()
+
+    def restart_node(self, index):
+        self.nodes()[index].restart()
+
+    def restart_crashed(self):
+        for node in self.cluster.cpu_nodes:
+            if not node.host.alive:
+                node.restart()
+        for mem in self._memory_nodes():
+            if not mem.host.alive:
+                mem.restart()
+
+    def crash_memory_node(self, index):
+        self._memory_nodes()[index].crash()
+
+    def restart_memory_node(self, index):
+        self._memory_nodes()[index].restart()
+
+
 class RaftAdapter(ClusterAdapter):
     """Raft-R: 2F+1 identical replicas, any may lead."""
 
@@ -228,6 +294,8 @@ class EPaxosAdapter(ClusterAdapter):
 def adapter_for(cluster) -> ClusterAdapter:
     """Pick the adapter for a built cluster (duck-typed, no isinstance
     on client code paths: benchmarks build clusters through SystemSpec)."""
+    if hasattr(cluster, "groups") and hasattr(cluster, "pool"):
+        return ShardedAdapter(cluster)
     if hasattr(cluster, "memory_nodes") and hasattr(cluster, "serving_coordinator"):
         return SiftAdapter(cluster)
     if hasattr(cluster, "replicas"):

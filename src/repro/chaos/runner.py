@@ -32,6 +32,7 @@ from repro.chaos.invariants import (
     check_no_phantoms,
 )
 from repro.chaos.schedule import FaultSchedule
+from repro.compat import resolve_us_kwargs
 from repro.kv.client import KvClient, KvRequestFailed
 from repro.net.fabric import Fabric
 from repro.obs import state as obs_state
@@ -71,6 +72,17 @@ class ChaosResult(NamedTuple):
         return self
 
 
+def _client_class(cluster):
+    """KvClient for single-group systems, ShardRouter for the sharded
+    service (a plain KvClient would ignore key ownership and write a
+    key to whichever shard's coordinator answers first)."""
+    if hasattr(cluster, "ring") and hasattr(cluster, "groups"):
+        from repro.shard.router import ShardRouter
+
+        return ShardRouter
+    return KvClient
+
+
 class _ChaosClient:
     """One closed-loop client owning a private key set.
 
@@ -85,7 +97,7 @@ class _ChaosClient:
         self.runner = runner
         self.index = index
         host = runner.fabric.add_host(f"chaos-c{index}", cores=2)
-        self.kv = KvClient(
+        self.kv = _client_class(runner.cluster)(
             host,
             runner.fabric,
             runner.cluster,
@@ -116,7 +128,7 @@ class _ChaosClient:
 
     def read_back(self):
         """Final verification reads with a patient client."""
-        patient = KvClient(
+        patient = _client_class(self.runner.cluster)(
             self.kv.host,
             self.runner.fabric,
             self.runner.cluster,
@@ -159,7 +171,29 @@ class ChaosRunner:
         ready_timeout_us: float = 5 * SEC,
         liveness_timeout_us: float = 5 * SEC,
         check_linearizability: Optional[bool] = None,
+        **deprecated,
     ):
+        if deprecated:
+            durations = resolve_us_kwargs(
+                "ChaosRunner",
+                deprecated,
+                {
+                    "op_gap": "op_gap_us",
+                    "settle": "settle_us",
+                    "ready_timeout": "ready_timeout_us",
+                    "liveness_timeout": "liveness_timeout_us",
+                },
+                {
+                    "op_gap_us": op_gap_us,
+                    "settle_us": settle_us,
+                    "ready_timeout_us": ready_timeout_us,
+                    "liveness_timeout_us": liveness_timeout_us,
+                },
+            )
+            op_gap_us = durations["op_gap_us"]
+            settle_us = durations["settle_us"]
+            ready_timeout_us = durations["ready_timeout_us"]
+            liveness_timeout_us = durations["liveness_timeout_us"]
         self.build = build
         self.schedule = schedule
         self.seed = seed

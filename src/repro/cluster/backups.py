@@ -26,14 +26,66 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Dict, List, NamedTuple
+from typing import Dict, List, NamedTuple, Optional
 
 from repro.cluster.trace import TraceConfig, generate_trace
 
-__all__ = ["BackupSimResult", "simulate_backup_pool", "sweep_backup_pool"]
+__all__ = [
+    "BackupSimResult",
+    "PoolAccountant",
+    "simulate_backup_pool",
+    "sweep_backup_pool",
+]
 
 PROVISION_S = 100.0  # [18]: average Linux VM start-up time on EC2
 NODES_PER_GROUP = 4  # F=1: 3 memory nodes + 1 CPU node (§6.4.2)
+
+
+class PoolAccountant:
+    """Per-fault recovery-time accounting for a shared backup pool.
+
+    One fault = one coordinator machine loss.  A pool of *backups* VMs
+    is modelled as a min-heap of ready times: a fault grabs the earliest
+    VM (charging ``max(0, ready - t)`` of additional recovery time) and
+    the grabbed VM's replacement starts provisioning the moment it is
+    handed over; with no pool at all the group provisions its own VM and
+    is charged the full provisioning delay.  Both the Figure 8 trace
+    replay (:func:`simulate_backup_pool`) and the *live*
+    :class:`repro.core.backups.BackupPool` reconciliation
+    (``fig8live``) run their charges through this one class, so the two
+    models cannot drift apart.
+    """
+
+    def __init__(self, backups: int, provision_s: float = PROVISION_S):
+        self.provision_s = provision_s
+        self._ready: List[float] = [0.0] * backups
+        heapq.heapify(self._ready)
+        self.faults = 0
+        self.waits = 0  # faults that found no ready VM
+        self.total_extra_s = 0.0
+
+    def fault(self, time_s: float) -> float:
+        """Charge one coordinator fault at *time_s*; returns its wait."""
+        self.faults += 1
+        if self._ready:
+            ready = heapq.heappop(self._ready)
+            extra = max(0.0, ready - time_s)
+            # The consumed backup's replacement starts provisioning now.
+            heapq.heappush(self._ready, max(ready, time_s) + self.provision_s)
+        else:
+            # No pool at all: the group provisions its own VM.
+            extra = self.provision_s
+        if extra > 0:
+            self.waits += 1
+        self.total_extra_s += extra
+        return extra
+
+    def per_fault_s(self, events: Optional[int] = None) -> float:
+        """Mean additional recovery time, divided by *events* if given
+        (Figure 8 divides by *all* trace events, not only coordinator
+        faults), else by the coordinator faults charged so far."""
+        n = self.faults if events is None else events
+        return self.total_extra_s / n if n else 0.0
 
 
 class BackupSimResult(NamedTuple):
@@ -72,13 +124,7 @@ def simulate_backup_pool(
     for group in range(groups):
         coordinator_of[placement[group * NODES_PER_GROUP]] = group
 
-    # Min-heap of times at which pool VMs become ready.
-    pool: List[float] = [0.0] * backups
-    heapq.heapify(pool)
-
-    total_extra = 0.0
-    coordinator_faults = 0
-    waits = 0
+    accountant = PoolAccountant(backups)
     free_machines = [m for m in range(machines) if m not in used]
     rng.shuffle(free_machines)
 
@@ -86,31 +132,19 @@ def simulate_backup_pool(
         group = coordinator_of.pop(event.machine, None)
         if group is None:
             continue
-        coordinator_faults += 1
-        if pool:
-            ready = heapq.heappop(pool)
-            extra = max(0.0, ready - event.time_s)
-            # The consumed backup's replacement starts provisioning now.
-            heapq.heappush(pool, max(ready, event.time_s) + PROVISION_S)
-        else:
-            # No pool at all: the group provisions its own VM.
-            extra = PROVISION_S
-        if extra > 0:
-            waits += 1
-        total_extra += extra
+        accountant.fault(event.time_s)
         # The group's new coordinator runs on a fresh machine.
         if free_machines:
             replacement = free_machines.pop()
             coordinator_of[replacement] = group
 
-    per_fault = total_extra / len(events) if events else 0.0
     return BackupSimResult(
         groups=groups,
         backups=backups,
-        recovery_time_per_fault_s=per_fault,
-        coordinator_faults=coordinator_faults,
+        recovery_time_per_fault_s=accountant.per_fault_s(len(events)),
+        coordinator_faults=accountant.faults,
         total_faults=len(events),
-        waits=waits,
+        waits=accountant.waits,
     )
 
 

@@ -1,0 +1,54 @@
+"""Deprecation shims for renamed keyword arguments.
+
+Duration-valued keyword arguments follow the ``*_us`` convention (all
+simulated times are microseconds).  Entry points that historically
+accepted bare names (``request_timeout``, ``timeout``, ``op_gap``, ...)
+keep accepting them through :func:`resolve_us_kwargs`, which maps each
+legacy name onto its ``*_us`` replacement and emits one
+:class:`DeprecationWarning` per (call site, name) pair for the life of
+the process — loud enough to notice, quiet enough not to flood a
+closed-loop client's log.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Dict, Set, Tuple
+
+__all__ = ["resolve_us_kwargs"]
+
+#: (owner, legacy name) pairs that already warned this process.
+_WARNED: Set[Tuple[str, str]] = set()
+
+
+def resolve_us_kwargs(
+    owner: str,
+    legacy: Dict[str, Any],
+    mapping: Dict[str, str],
+    values: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Fold deprecated duration kwargs into their ``*_us`` replacements.
+
+    *legacy* is the ``**kwargs`` catch-all of the entry point, *mapping*
+    maps each accepted legacy name to its ``*_us`` replacement, and
+    *values* holds the current values of those ``*_us`` parameters.
+    Returns *values* updated with any legacy spellings (legacy only
+    applies when the caller did not also pass the new name).  Unknown
+    keyword arguments raise :class:`TypeError`, exactly as a plain
+    signature would.
+    """
+    for name, value in legacy.items():
+        replacement = mapping.get(name)
+        if replacement is None:
+            raise TypeError(f"{owner}() got an unexpected keyword argument {name!r}")
+        key = (owner, name)
+        if key not in _WARNED:
+            _WARNED.add(key)
+            warnings.warn(
+                f"{owner}: keyword {name!r} is deprecated, use {replacement!r} "
+                "(durations are microseconds)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        values[replacement] = value
+    return values

@@ -22,20 +22,41 @@ lives separately in :mod:`repro.cluster.backups`.
 from __future__ import annotations
 
 from itertools import count
-from typing import Dict, List, Optional
+from typing import Dict, List, NamedTuple, Optional
 
 from repro.core.cpu_node import CpuNode
 from repro.core.group import SiftGroup
 from repro.net.fabric import Fabric
 from repro.net.host import Host
+from repro.obs import state as obs_state
 from repro.rdma.errors import RdmaError
 from repro.rdma.nic import Rnic
 from repro.rdma.qp import QpState, QueuePair
+from repro.sim.engine import Event
 from repro.sim.units import SEC
 from repro.storage.admin import AdminWord
 from repro.storage.memory_node import ADMIN_REGION, ADMIN_WORD_OFFSET
 
-__all__ = ["BackupPool"]
+__all__ = ["BackupPool", "Promotion"]
+
+
+class Promotion(NamedTuple):
+    """One spare handed to a group (times in simulated microseconds).
+
+    *wait_us* is the additional recovery time charged to the fault by
+    the pool: zero when a spare was idle, the time spent queued for the
+    next provisioned VM otherwise.  It is measured from *request_us*
+    (the moment the pool decided the group was dead), so it composes
+    with — but does not include — failure-detection latency, and is
+    therefore directly comparable to the
+    :class:`repro.cluster.backups.PoolAccountant` trace model.
+    """
+
+    request_us: float
+    promoted_us: float
+    group: str
+    host: str
+    wait_us: float
 
 _BACKUP_NODE_IDS = count(100)  # distinct from the groups' own 1..Fc+1 ids
 
@@ -101,23 +122,35 @@ class BackupPool:
     ):
         self.fabric = fabric
         self.groups = list(groups)
+        self.capacity = size
         self.provisioning_delay_us = provisioning_delay_us
         self.cores = cores
         self.name = name
         self.sim = fabric.sim
         self._spares: List[str] = []
+        self._waiters: List[Event] = []  # FIFO queue for the next ready VM
         self._next_host = count()
         self.promotions = 0
         self.provisioned = 0
+        self.waits = 0
+        self.recovery_wait_us_total = 0.0
+        self.promotion_log: List[Promotion] = []
         self.running = False
         self._watchdog: Optional[Host] = None
         for _ in range(size):
             self._spares.append(self._new_spare())
+        self._publish_occupancy()
 
     def _new_spare(self) -> str:
         host_name = f"{self.name}-{next(self._next_host)}"
         self.fabric.add_host(host_name, cores=self.cores)
         return host_name
+
+    def _publish_occupancy(self) -> None:
+        if obs_state.REGISTRY is not None:
+            obs_state.REGISTRY.gauge("backup_pool.idle", pool=self.name).set(
+                len(self._spares)
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -135,11 +168,19 @@ class BackupPool:
     def stop(self) -> None:
         """Stop promoting (running monitors drain on their next check)."""
         self.running = False
+        # Release queued promotions so their processes terminate.
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.try_trigger(None)
 
     @property
     def idle_backups(self) -> int:
         """Spare hosts ready to take over a group right now."""
         return len(self._spares)
+
+    def recovery_wait_us_per_fault(self) -> float:
+        """Mean additional recovery time per promotion so far."""
+        return self.recovery_wait_us_total / self.promotions if self.promotions else 0.0
 
     # ------------------------------------------------------------------
     # Monitoring and promotion
@@ -168,12 +209,36 @@ class BackupPool:
             stale_rounds = 0
 
     def _promote(self, group: SiftGroup):
-        """Process: hand an idle spare to *group* (waiting for one if needed)."""
-        while self.running and not self._spares:
-            yield self.sim.timeout(group.config.heartbeat_read_interval_us)
-        if not self.running:
-            return
-        host_name = self._spares.pop()
+        """Process: hand an idle spare to *group* (waiting for one if needed).
+
+        Accounting mirrors :class:`repro.cluster.backups.PoolAccountant`
+        exactly: an idle spare costs nothing and its replacement starts
+        provisioning immediately; an empty pool queues the group for the
+        next VM to come ready (FIFO — the heap model's earliest-ready
+        VM) and charges the queueing time; a pool built with ``size=0``
+        makes the group provision its own VM, charged in full.
+        """
+        request_us = self.sim.now
+        if self._spares:
+            host_name = self._spares.pop()
+            self._publish_occupancy()
+            # The consumed spare's replacement starts provisioning now.
+            self.sim.spawn(self._provision(), name="provision-backup")
+        elif self.capacity == 0:
+            # No pool at all: the group provisions its own VM.
+            yield self.sim.timeout(self.provisioning_delay_us)
+            if not self.running:
+                return
+            host_name = self._new_spare()
+        else:
+            waiter = Event(self.sim)
+            self._waiters.append(waiter)
+            host_name = yield waiter
+            if host_name is None or not self.running:
+                return  # stop() drained the queue
+            # Hand-over time: the replacement provisions from here.
+            self.sim.spawn(self._provision(), name="provision-backup")
+        wait_us = self.sim.now - request_us
         backup = CpuNode(
             self.fabric,
             f"{host_name}:{group.name}",
@@ -184,12 +249,30 @@ class BackupPool:
             host=self.fabric.host(host_name),
         )
         backup.start()
-        group.cpu_nodes.append(backup)
+        group.adopt_cpu_node(backup)
         self.promotions += 1
-        # Replenish the pool in the background.
-        self.sim.spawn(self._provision(), name="provision-backup")
+        if wait_us > 0:
+            self.waits += 1
+        self.recovery_wait_us_total += wait_us
+        self.promotion_log.append(
+            Promotion(request_us, self.sim.now, group.name, host_name, wait_us)
+        )
+        if obs_state.REGISTRY is not None:
+            obs_state.REGISTRY.counter(
+                "backup_pool.promotions", pool=self.name, group=group.name
+            ).inc()
+            obs_state.REGISTRY.histogram("backup_pool.wait_us", pool=self.name).observe(
+                wait_us
+            )
 
     def _provision(self):
         yield self.sim.timeout(self.provisioning_delay_us)
         self.provisioned += 1
-        self._spares.append(self._new_spare())
+        host_name = self._new_spare()
+        if self._waiters:
+            # Hand the fresh VM straight to the longest-queued group so
+            # its measured wait ends exactly at the VM's ready time.
+            self._waiters.pop(0).try_trigger(host_name)
+        else:
+            self._spares.append(host_name)
+            self._publish_occupancy()

@@ -1,4 +1,11 @@
-"""Protocol-level errors surfaced to Sift applications."""
+"""Protocol-level errors surfaced to Sift applications.
+
+All derive from :class:`repro.errors.ReproError`; ``SiftError`` remains
+the subsystem base so existing ``except SiftError`` clauses still catch
+everything raised here.
+"""
+
+from repro.errors import ReproError
 
 __all__ = [
     "SiftError",
@@ -9,20 +16,26 @@ __all__ = [
 ]
 
 
-class SiftError(Exception):
+class SiftError(ReproError):
     """Base class for Sift protocol errors."""
 
 
 class GroupUnavailable(SiftError):
     """Fewer than Fm + 1 live memory nodes: progress is impossible (§3.4)."""
 
+    retryable = True  # nodes restart / the backup pool promotes
+
 
 class NotCoordinator(SiftError):
     """The operation requires coordinatorship this CPU node does not hold."""
 
+    retryable = True  # reissue against the current coordinator
+
 
 class Deposed(SiftError):
     """A newer coordinator took over mid-operation; retry against it."""
+
+    retryable = True
 
 
 class InvalidAccess(SiftError):

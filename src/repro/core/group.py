@@ -121,6 +121,27 @@ class SiftGroup:
             yield self.fabric.sim.timeout(1 * MS)
 
     # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def adopt_cpu_node(self, cpu_node: CpuNode) -> CpuNode:
+        """Admit an externally provisioned CPU node (a promoted backup).
+
+        CPU nodes hold only soft state (§5.2), so joining is just
+        appearing in the membership list and campaigning; no data
+        transfer is involved.
+        """
+        self.cpu_nodes.append(cpu_node)
+        if obs_state.TRACER is not None:
+            obs_state.TRACER.instant(
+                "group.adopt_cpu_node",
+                self.fabric.sim.now,
+                group=self.name,
+                node=cpu_node.host.name,
+            )
+        return cpu_node
+
+    # ------------------------------------------------------------------
     # Fault injection
     # ------------------------------------------------------------------
 

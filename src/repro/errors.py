@@ -1,0 +1,37 @@
+"""The common exception hierarchy.
+
+Every modelled failure the harness can surface — protocol errors
+(:mod:`repro.core.errors`), network faults (:mod:`repro.net.errors`),
+RDMA verb failures (:mod:`repro.rdma.errors`), and client-level request
+failures — derives from :class:`ReproError`, so callers can catch one
+base class and branch on :attr:`ReproError.retryable` instead of
+memorising which subsystem raised what:
+
+    try:
+        yield from client.put(key, value)
+    except ReproError as exc:
+        if not exc.retryable:
+            raise
+
+``retryable`` means "the same request may succeed if reissued (possibly
+against another node) without any operator intervention": timeouts,
+deposed coordinators, and unreachable hosts are retryable; protection
+faults and misuse of the API are not.  The historical per-subsystem
+names (``SiftError``, ``NetworkError``, ``RdmaError``,
+``KvRequestFailed``, ...) remain importable from their original modules
+as subclasses, so existing ``except`` clauses keep working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReproError"]
+
+
+class ReproError(Exception):
+    """Base class for every modelled failure in the harness.
+
+    Subclasses set :attr:`retryable` as a class attribute; it is a
+    property of the failure *kind*, not of one instance.
+    """
+
+    retryable: bool = False

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from typing import Any, Optional, Tuple
 
+from repro.compat import resolve_us_kwargs
 from repro.core.group import SiftGroup
+from repro.errors import ReproError
 from repro.net.fabric import Fabric
 from repro.net.host import Host
 from repro.net.rpc import RpcClient
@@ -21,8 +23,17 @@ from repro.sim.units import MS
 __all__ = ["KvClient", "KvRequestFailed"]
 
 
-class KvRequestFailed(Exception):
+class KvRequestFailed(ReproError):
     """The request could not complete after exhausting every CPU node."""
+
+    retryable = True
+
+
+#: Legacy duration kwargs accepted with a one-time DeprecationWarning.
+_LEGACY_DURATIONS = {
+    "request_timeout": "request_timeout_us",
+    "retry_backoff": "retry_backoff_us",
+}
 
 
 class KvClient:
@@ -36,7 +47,20 @@ class KvClient:
         request_timeout_us: float = 10 * MS,
         max_rounds: int = 2_000,
         retry_backoff_us: float = 5 * MS,
+        **deprecated,
     ):
+        if deprecated:
+            durations = resolve_us_kwargs(
+                "KvClient",
+                deprecated,
+                _LEGACY_DURATIONS,
+                {
+                    "request_timeout_us": request_timeout_us,
+                    "retry_backoff_us": retry_backoff_us,
+                },
+            )
+            request_timeout_us = durations["request_timeout_us"]
+            retry_backoff_us = durations["retry_backoff_us"]
         self.host = host
         self.group = group
         self.rpc = RpcClient(host, fabric)
@@ -46,6 +70,11 @@ class KvClient:
         self._preferred: Optional[int] = None
         self._order_cache: dict = {}  # preferred index -> probe order tuple
         self.stats = {"requests": 0, "retries": 0, "failures": 0}
+
+    def prefer(self, index: int) -> None:
+        """Seed the preferred-CPU-node cache (modulo the group size)."""
+        cpu_nodes = self.group.cpu_nodes
+        self._preferred = index % max(1, len(cpu_nodes))
 
     # -- public API (all processes) ---------------------------------------------
 

@@ -2,18 +2,24 @@
 
 These are *modelled* faults — the failures a real deployment would see —
 as opposed to :class:`repro.sim.SimulationError`, which flags misuse of
-the simulator itself.
+the simulator itself.  All derive from
+:class:`repro.errors.ReproError`; ``NetworkError`` remains the
+subsystem base for existing ``except`` clauses.
 """
+
+from repro.errors import ReproError
 
 __all__ = ["NetworkError", "Unreachable", "HostDown", "RpcTimeout"]
 
 
-class NetworkError(Exception):
+class NetworkError(ReproError):
     """Base class for modelled network failures."""
 
 
 class Unreachable(NetworkError):
     """The destination cannot be reached (partition or dead host)."""
+
+    retryable = True  # partitions heal, hosts restart
 
 
 class HostDown(NetworkError):
@@ -22,3 +28,5 @@ class HostDown(NetworkError):
 
 class RpcTimeout(NetworkError):
     """An RPC did not receive a response within its deadline."""
+
+    retryable = True

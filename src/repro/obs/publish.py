@@ -63,13 +63,41 @@ def publish_run(
 
 
 def _publish_cluster(registry: MetricsRegistry, cluster: object) -> None:
+    # Sharded service: per-shard gauges plus the backup pool's state.
+    groups = getattr(cluster, "groups", None)
+    pool = getattr(cluster, "pool", None)
+    if groups is not None and pool is not None:
+        for group in groups:
+            coordinator = group.serving_coordinator()
+            registry.gauge("shard.cpu_nodes", shard=group.name).set(
+                len(group.cpu_nodes)
+            )
+            registry.gauge("shard.serving", shard=group.name).set(
+                0 if coordinator is None else 1
+            )
+            _publish_cache(registry, coordinator, shard=group.name)
+        registry.gauge("backup_pool.idle", pool=pool.name).set(pool.idle_backups)
+        registry.gauge("backup_pool.promotions_total", pool=pool.name).set(
+            pool.promotions
+        )
+        registry.gauge("backup_pool.waits_total", pool=pool.name).set(pool.waits)
+        registry.gauge("backup_pool.recovery_wait_us_total", pool=pool.name).set(
+            pool.recovery_wait_us_total
+        )
+        return
     # Sift: the serving coordinator's KV app carries the value cache.
     serving = getattr(cluster, "serving_coordinator", None)
     coordinator = serving() if callable(serving) else None
+    _publish_cache(registry, coordinator)
+
+
+def _publish_cache(
+    registry: MetricsRegistry, coordinator: object, **labels: str
+) -> None:
     app = getattr(coordinator, "app", None)
     cache = getattr(app, "cache", None)
     if cache is not None and hasattr(cache, "hit_rate"):
-        registry.gauge("kv.cache.hits").set(cache.hits)
-        registry.gauge("kv.cache.misses").set(cache.misses)
-        registry.gauge("kv.cache.hit_rate").set(cache.hit_rate)
-        registry.gauge("kv.cache.entries").set(len(cache))
+        registry.gauge("kv.cache.hits", **labels).set(cache.hits)
+        registry.gauge("kv.cache.misses", **labels).set(cache.misses)
+        registry.gauge("kv.cache.hit_rate", **labels).set(cache.hit_rate)
+        registry.gauge("kv.cache.entries", **labels).set(len(cache))

@@ -3,8 +3,12 @@
 A verb either completes with an acknowledgement (reliable RC semantics)
 or the queue pair surfaces an error completion: retry-exhaustion when the
 peer is unreachable, protection faults for out-of-bounds access, and
-revocation when the peer accepted a newer exclusive connection.
+revocation when the peer accepted a newer exclusive connection.  All
+derive from :class:`repro.errors.ReproError`; ``RdmaError`` remains the
+subsystem base for existing ``except`` clauses.
 """
+
+from repro.errors import ReproError
 
 __all__ = [
     "RdmaError",
@@ -14,12 +18,14 @@ __all__ = [
 ]
 
 
-class RdmaError(Exception):
+class RdmaError(ReproError):
     """Base class for verb failures (the QP moved to an error state)."""
 
 
 class RdmaTimeout(RdmaError):
     """Transport retries exhausted: the peer is dead or unreachable."""
+
+    retryable = True
 
 
 class RdmaProtectionError(RdmaError):

@@ -1,0 +1,19 @@
+"""Multi-group sharded KV service (§5.2 scaled out).
+
+One Sift group is a unit of consensus, not of capacity: a deployment
+runs many groups side by side on one fabric, partitions the key space
+across them with consistent hashing, and — because CPU nodes are
+stateless — lets *all* groups share one small pool of backup CPU VMs
+(:class:`repro.core.backups.BackupPool`) instead of provisioning
+``(F + 1)`` CPU nodes per group.
+
+``ShardedKvService`` provisions the groups plus the live pool;
+``ShardRouter`` is the client: it owns one :class:`repro.kv.KvClient`
+per shard and routes each key through the :class:`HashRing`.
+"""
+
+from repro.shard.hashing import HashRing
+from repro.shard.router import ShardRouter
+from repro.shard.service import ShardedKvService
+
+__all__ = ["HashRing", "ShardRouter", "ShardedKvService"]

@@ -1,0 +1,61 @@
+"""Consistent hashing for key-to-shard routing.
+
+The ring must be stable across processes and across service restarts:
+two routers built from the same shard names place every key
+identically, and adding a shard moves only ``~1/G`` of the key space.
+Hashing therefore uses :mod:`hashlib` (Python's builtin ``hash`` is
+salted per process) and each shard contributes *virtual_nodes* points
+so the arc lengths even out.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _point(token: bytes) -> int:
+    """A stable 64-bit ring position for *token*."""
+    return int.from_bytes(hashlib.sha1(token).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named shards."""
+
+    def __init__(self, shards: Sequence[str], virtual_nodes: int = 64):
+        if not shards:
+            raise ValueError("a ring needs at least one shard")
+        if len(set(shards)) != len(shards):
+            raise ValueError(f"duplicate shard names: {list(shards)}")
+        self.shards: Tuple[str, ...] = tuple(shards)
+        self.virtual_nodes = virtual_nodes
+        points: List[Tuple[int, str]] = []
+        for name in self.shards:
+            for replica in range(virtual_nodes):
+                points.append((_point(f"{name}#{replica}".encode()), name))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def shard_for(self, key: bytes) -> str:
+        """The shard owning *key*: first ring point at or after its hash."""
+        index = bisect.bisect_left(self._points, _point(bytes(key)))
+        if index == len(self._points):
+            index = 0  # wrap around
+        return self._owners[index]
+
+    def spread(self, keys: Sequence[bytes]) -> Dict[str, int]:
+        """How many of *keys* each shard owns (diagnostics / tests)."""
+        counts = {name: 0 for name in self.shards}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __repr__(self) -> str:
+        return f"<HashRing {len(self.shards)} shards x {self.virtual_nodes} vnodes>"

@@ -1,0 +1,106 @@
+"""Client-side shard routing.
+
+A router is one client host's view of the whole sharded service: one
+:class:`~repro.kv.client.KvClient` per shard, each with its own
+preferred-coordinator cache, with every operation dispatched through
+the service's hash ring.  The router deliberately has the same
+``put``/``get``/``delete`` generator surface (and ``prefer`` hook) as
+``KvClient`` so :class:`repro.workloads.clients.ClientPool` and the
+chaos runner drive either interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.compat import resolve_us_kwargs
+from repro.kv.client import KvClient
+from repro.net.fabric import Fabric
+from repro.net.host import Host
+from repro.shard.service import ShardedKvService
+from repro.sim.units import MS
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Routes KV operations from one host to the owning shard."""
+
+    def __init__(
+        self,
+        host: Host,
+        fabric: Fabric,
+        service: ShardedKvService,
+        request_timeout_us: float = 10 * MS,
+        max_rounds: int = 2_000,
+        retry_backoff_us: float = 5 * MS,
+        **deprecated,
+    ):
+        if deprecated:
+            durations = resolve_us_kwargs(
+                "ShardRouter",
+                deprecated,
+                {
+                    "request_timeout": "request_timeout_us",
+                    "retry_backoff": "retry_backoff_us",
+                },
+                {
+                    "request_timeout_us": request_timeout_us,
+                    "retry_backoff_us": retry_backoff_us,
+                },
+            )
+            request_timeout_us = durations["request_timeout_us"]
+            retry_backoff_us = durations["retry_backoff_us"]
+        self.host = host
+        self.service = service
+        self.clients: Dict[str, KvClient] = {
+            group.name: KvClient(
+                host,
+                fabric,
+                group,
+                request_timeout_us=request_timeout_us,
+                max_rounds=max_rounds,
+                retry_backoff_us=retry_backoff_us,
+            )
+            for group in service.groups
+        }
+
+    def prefer(self, index: int) -> None:
+        """Seed every per-shard client's preferred-coordinator cache."""
+        for client in self.clients.values():
+            client.prefer(index)
+
+    def client_for(self, key: bytes) -> KvClient:
+        """The per-shard client owning *key*."""
+        return self.clients[self.service.shard_for(key)]
+
+    # -- public API (all processes, same surface as KvClient) --------------------
+
+    def put(self, key: bytes, value: bytes):
+        """Process: store *value* under *key* on the owning shard."""
+        result = yield from self.client_for(key).put(key, value)
+        return result
+
+    def get(self, key: bytes):
+        """Process: fetch *key* from the owning shard."""
+        result = yield from self.client_for(key).get(key)
+        return result
+
+    def delete(self, key: bytes):
+        """Process: delete *key* on the owning shard."""
+        result = yield from self.client_for(key).delete(key)
+        return result
+
+    # -- diagnostics --------------------------------------------------------------
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Aggregated per-shard client stats."""
+        totals = {"requests": 0, "retries": 0, "failures": 0}
+        for client in self.clients.values():
+            for field, value in client.stats.items():
+                totals[field] += value
+        return totals
+
+    def __repr__(self) -> str:
+        return f"<ShardRouter {self.host.name} -> {len(self.clients)} shards>"

@@ -1,0 +1,154 @@
+"""The sharded KV service: G groups, one fabric, one shared backup pool.
+
+The service owns provisioning only — groups do consensus, the
+:class:`~repro.core.backups.BackupPool` does CPU-node recovery, the
+:class:`~repro.shard.hashing.HashRing` does placement.  Clients go
+through :class:`repro.shard.router.ShardRouter`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.backups import BackupPool
+from repro.core.group import SiftGroup
+from repro.kv import KvConfig, kv_app_factory
+from repro.net.fabric import Fabric
+from repro.obs import state as obs_state
+from repro.sim.units import MS, SEC
+from repro.shard.hashing import HashRing
+
+__all__ = ["ShardedKvService"]
+
+
+class ShardedKvService:
+    """G Sift groups sharing a fabric and a live pool of backup CPU VMs.
+
+    With per-group provisioning, G groups tolerating ``Fc`` coordinator
+    faults each need ``G x (Fc + 1)`` CPU nodes.  Because CPU nodes are
+    stateless (§5.2), this service instead provisions *one* CPU node per
+    group (``fc=0``) by default and a pool of *backups* spares shared by
+    every group; the pool's watchdog promotes a spare into whichever
+    group loses its coordinator.  ``G + B`` CPU VMs replace
+    ``G x (Fc + 1)``.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        shards: int = 2,
+        backups: int = 1,
+        kv_config: Optional[KvConfig] = None,
+        fm: int = 1,
+        fc: int = 0,
+        erasure_coding: bool = False,
+        provisioning_delay_us: float = 100 * SEC,
+        virtual_nodes: int = 64,
+        name: str = "shard",
+        **sift_overrides,
+    ):
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.fabric = fabric
+        self.name = name
+        self.n_shards = shards
+        self.kv_config = kv_config or KvConfig(
+            max_keys=4096, wal_entries=256, watermark_interval=64
+        )
+        overrides = dict(wal_entries=256, memnode_poll_interval_us=30 * MS)
+        overrides.update(sift_overrides)
+        sift_config = self.kv_config.sift_config(
+            fm=fm, fc=fc, erasure_coding=erasure_coding, **overrides
+        )
+        self.groups: List[SiftGroup] = [
+            SiftGroup(
+                fabric,
+                sift_config,
+                name=f"{name}{index}",
+                app_factory=kv_app_factory(self.kv_config),
+            )
+            for index in range(shards)
+        ]
+        self._by_name: Dict[str, SiftGroup] = {g.name: g for g in self.groups}
+        self.ring = HashRing([g.name for g in self.groups], virtual_nodes=virtual_nodes)
+        self.pool = BackupPool(
+            fabric,
+            self.groups,
+            size=backups,
+            provisioning_delay_us=provisioning_delay_us,
+            name=f"{name}-pool",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every group, then the pool's watchdog monitors."""
+        for group in self.groups:
+            group.start()
+        self.pool.start()
+        if obs_state.REGISTRY is not None:
+            obs_state.REGISTRY.gauge("shard.groups", service=self.name).set(
+                len(self.groups)
+            )
+
+    def stop(self) -> None:
+        """Stop promoting backups (groups keep serving)."""
+        self.pool.stop()
+
+    def wait_until_serving(self, timeout_us: Optional[float] = None):
+        """Process: wait until *every* shard has a serving coordinator.
+
+        The per-group deadline is the one absolute deadline, so a slow
+        first shard does not extend the budget of the rest.
+        """
+        deadline = None if timeout_us is None else self.fabric.sim.now + timeout_us
+        for group in self.groups:
+            remaining = None if deadline is None else deadline - self.fabric.sim.now
+            yield from group.wait_until_serving(remaining)
+        return self
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def shard_for(self, key: bytes) -> str:
+        """The shard name owning *key*."""
+        return self.ring.shard_for(key)
+
+    def group_for(self, key: bytes) -> SiftGroup:
+        """The group owning *key*."""
+        return self._by_name[self.ring.shard_for(key)]
+
+    def group(self, name: str) -> SiftGroup:
+        """Look up a group by shard name."""
+        return self._by_name[name]
+
+    # ------------------------------------------------------------------
+    # Introspection and fault injection (chaos / bench hooks)
+    # ------------------------------------------------------------------
+
+    @property
+    def cpu_nodes(self):
+        """Every CPU node across all shards (includes promoted backups)."""
+        return [cpu for group in self.groups for cpu in group.cpu_nodes]
+
+    def coordinators(self) -> Dict[str, Optional[str]]:
+        """Shard name -> serving coordinator host name (None while down)."""
+        out: Dict[str, Optional[str]] = {}
+        for group in self.groups:
+            coordinator = group.serving_coordinator()
+            out[group.name] = None if coordinator is None else coordinator.host.name
+        return out
+
+    def crash_coordinator(self, shard: Optional[str] = None):
+        """Kill one shard's coordinator (the first shard by default)."""
+        group = self.groups[0] if shard is None else self._by_name[shard]
+        return group.crash_coordinator()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedKvService {self.name} shards={len(self.groups)} "
+            f"pool={self.pool.idle_backups}/{self.pool.capacity}>"
+        )

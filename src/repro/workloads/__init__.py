@@ -9,6 +9,7 @@ from repro.workloads.clients import ClientPool
 from repro.workloads.generator import (
     WORKLOADS,
     KeySampler,
+    StripedZipfSampler,
     UniformSampler,
     WorkloadMix,
     ZipfSampler,
@@ -17,6 +18,7 @@ from repro.workloads.generator import (
 __all__ = [
     "ClientPool",
     "KeySampler",
+    "StripedZipfSampler",
     "UniformSampler",
     "WORKLOADS",
     "WorkloadMix",

@@ -9,9 +9,11 @@ completion, repeat.  Throughput is controlled by the number of clients
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
-from repro.bench.metrics import Metrics
+if TYPE_CHECKING:  # only for annotations; importing repro.bench here
+    from repro.bench.metrics import Metrics  # would be circular
+
 from repro.kv.client import KvClient, KvRequestFailed
 from repro.net.fabric import Fabric
 from repro.workloads.generator import KeySampler, WorkloadMix
@@ -57,7 +59,12 @@ class ClientPool:
             # Spread clients across serving nodes; leader-based systems
             # converge onto the leader after one retry, while EPaxos keeps
             # its clients "evenly distributed across the nodes" (§6.3.2).
-            client._preferred = index % n_targets
+            # KvClient.prefer computes the same index as the legacy
+            # direct assignment; ShardRouter fans it out per shard.
+            if hasattr(client, "prefer"):
+                client.prefer(index)
+            else:
+                client._preferred = index % n_targets
             self._clients.append(client)
             rng = self.fabric.rng.stream(f"{self.name}:{index}")
             host.spawn(self._loop(client, rng), name=f"{self.name}-{index}")

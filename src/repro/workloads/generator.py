@@ -12,7 +12,14 @@ from typing import NamedTuple
 
 import numpy as np
 
-__all__ = ["WorkloadMix", "WORKLOADS", "KeySampler", "ZipfSampler", "UniformSampler"]
+__all__ = [
+    "WorkloadMix",
+    "WORKLOADS",
+    "KeySampler",
+    "ZipfSampler",
+    "StripedZipfSampler",
+    "UniformSampler",
+]
 
 
 class WorkloadMix(NamedTuple):
@@ -77,3 +84,36 @@ class ZipfSampler(KeySampler):
         if top <= 0:
             return 0.0
         return float(self._cdf[min(top, self.n_keys) - 1])
+
+
+class StripedZipfSampler(ZipfSampler):
+    """Zipfian popularity striped evenly across the shards of a ring.
+
+    Consistent hashing balances the *number* of keys per shard but not
+    their *popularity*: under theta=0.99 the few hottest keys carry most
+    of the load, and nothing stops ranks 0..2 all hashing to one shard.
+    This sampler renders rank ``r`` as a key that provably lives on
+    shard ``r % G`` — for each rank it walks nonce-suffixed candidates
+    until the ring places one on the target shard — so every shard owns
+    an equal slice of each popularity band.  Construction is
+    deterministic (no RNG): same ring + n_keys -> same keys.
+    """
+
+    def __init__(self, n_keys: int, ring, theta: float = 0.99):
+        super().__init__(n_keys, theta=theta)
+        self.ring = ring
+        shards = ring.shards
+        keys = []
+        for rank in range(n_keys):
+            target = shards[rank % len(shards)]
+            nonce = 0
+            while True:
+                candidate = b"key%018d.%04d" % (rank, nonce)
+                if ring.shard_for(candidate) == target:
+                    break
+                nonce += 1
+            keys.append(candidate)
+        self._keys = keys
+
+    def key(self, index: int) -> bytes:
+        return self._keys[index]
