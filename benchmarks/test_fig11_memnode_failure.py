@@ -98,3 +98,50 @@ def test_fig11(timeline, once):
     # The group never stops serving entirely (reads keep flowing).
     between = [ops for t, ops in result.series if KILL_AT / 1e6 <= t < recovery_s]
     assert min(between) > 0, "memory-node failure must not halt the group"
+
+
+@pytest.fixture(scope="module")
+def partition_sweep():
+    """The recovery-time-vs-partitions sweep behind the fig11sweep CLI
+    figure, at full benchmark scale.
+
+    Runs at Fm = 2 so four live source links exist once one node fails:
+    RAMCloud-style partitioned recovery splits the dead node's image
+    across the sources, and aggregate copy bandwidth — hence recovery
+    time — scales with the partition count.
+    """
+    from repro.bench.points import RECOVERY_SWEEP_PARTITIONS, _memnode_failure_run
+
+    scale = BenchScale()
+    return {
+        partitions: _memnode_failure_run(
+            False, scale, seed=0, f=2, recovery_partitions=partitions
+        )
+        for partitions in RECOVERY_SWEEP_PARTITIONS
+    }
+
+
+def test_fig11_partition_sweep(partition_sweep, once):
+    runs = once(lambda: partition_sweep)
+    print()
+    for partitions, run in sorted(runs.items()):
+        copy = run["copy"] or {}
+        print(
+            f"partitions={partitions}: recovery {run['recovery_precise_s']:.4f}s, "
+            f"copy {copy.get('copy_us', 0) / 1000:.2f}ms via "
+            f"{len(copy.get('sources', []))} source links"
+        )
+
+    widths = sorted(runs)
+    for partitions in widths:
+        run = runs[partitions]
+        assert run["recovery_precise_s"] is not None, (
+            f"p={partitions} never finished recovery"
+        )
+        assert run["copy"]["partitions"] == partitions
+    # Every width rebuilds the same image...
+    sizes = {runs[p]["copy"]["bytes"] for p in widths}
+    assert len(sizes) == 1, sizes
+    # ...and each doubling of source links strictly shortens recovery.
+    times = [runs[p]["recovery_precise_s"] for p in widths]
+    assert all(a > b for a, b in zip(times, times[1:])), dict(zip(widths, times))

@@ -104,3 +104,89 @@ def test_fig12(timeline, once):
     assert post, "no post-recovery windows"
     post_mean = sum(post) / len(post)
     assert post_mean > 0.85 * pre_mean, (pre_mean, post_mean)
+
+
+MEM_KILL_AT = 0.6 * SEC
+MEM_RESTART_AT = 0.9 * SEC
+FAILOVER_DURATION = 4.5 * SEC
+
+
+@pytest.fixture(scope="module")
+def failover_mid_recovery():
+    """Coordinator failover while a partitioned memory-node recovery is
+    mid-copy: the successor re-fences the push channels, re-runs log
+    recovery, and restarts the node recovery from scratch."""
+    scale = BenchScale()
+    spec = sift_spec(cores=12, scale=scale, recovery_partitions=4)
+    marks = {}
+
+    def arm(group):
+        def watch():
+            sim = group.fabric.sim
+            coordinator = group.serving_coordinator()
+            # Wait for the copy-back to actually start, then depose the
+            # coordinator driving it.
+            while coordinator.repmem.states[2] != "recovering":
+                yield sim.timeout(1 * MS)
+            marks["deposed"] = sim.now
+            group.crash_coordinator()
+            while True:
+                serving = group.serving_coordinator()
+                if serving is not None and serving.repmem.states.get(2) == "live":
+                    manager = serving.recovery_manager
+                    if manager is not None and 2 in manager.copy_stats:
+                        marks["copy"] = dict(manager.copy_stats[2])
+                    break
+                yield sim.timeout(5 * MS)
+            marks["recovered"] = sim.now
+
+        group.fabric.sim.spawn(watch(), name="arm-failover")
+
+    schedule = (
+        FaultSchedule()
+        .crash_memory_node(MEM_KILL_AT, 2)
+        .restart_memory_node(MEM_RESTART_AT, 2)
+        .probe(MEM_RESTART_AT, arm, "arm failover mid-recovery")
+    )
+    result = run_timeline(
+        spec,
+        WORKLOADS["read-heavy"],
+        CLIENTS,
+        FAILOVER_DURATION,
+        events=schedule,
+        scale=scale,
+    )
+    return result, marks
+
+
+def test_fig12_failover_during_partitioned_recovery(failover_mid_recovery, once):
+    result, marks = once(lambda: failover_mid_recovery)
+    print()
+    print(
+        series_table(
+            "Figure 12 variant: coordinator failover during partitioned recovery",
+            "seconds",
+            "ops/sec",
+            {"sift": result.series},
+        )
+    )
+    assert "deposed" in marks, "the memory node never entered recovery"
+    assert "recovered" in marks, "the node never rejoined after the failover"
+    gap_s = (marks["recovered"] - marks["deposed"]) / 1e6
+    print(f"deposed mid-copy; node 2 live again {gap_s * 1000:.0f} ms later")
+
+    # The recovery that finally completed ran under the successor, on
+    # the partitioned path, and rebuilt the full image.
+    copy = marks.get("copy")
+    assert copy is not None, "successor kept no copy stats for node 2"
+    assert copy["partitions"] == 4
+
+    # Throughput returns to the pre-failure level despite the stacked
+    # faults (memory node + coordinator).
+    pre = [ops for t, ops in result.series if 0.2 <= t < MEM_KILL_AT / 1e6]
+    pre_mean = sum(pre) / len(pre)
+    recovered_s = (marks["recovered"] - result.base_us) / 1e6
+    post = [ops for t, ops in result.series if t >= recovered_s + 0.3]
+    assert post, "no post-recovery windows"
+    post_mean = sum(post) / len(post)
+    assert post_mean > 0.8 * pre_mean, (pre_mean, post_mean)

@@ -50,6 +50,8 @@ from repro.bench.points import (
     fig8live_points,
     fig11_points,
     fig11_timings,
+    fig11sweep_points,
+    RECOVERY_SWEEP_PARTITIONS,
 )
 from repro.bench.report import bar_table, kv_table, series_table, sparkline
 from repro.bench.runner import run_throughput
@@ -63,7 +65,7 @@ from repro.workloads import WORKLOADS
 __all__ = ["main"]
 
 #: Figures the ``bench-smoke`` CI job pins against committed baselines.
-BASELINE_FIGURES = ("fig5", "fig6", "fig11")
+BASELINE_FIGURES = ("fig5", "fig6", "fig11", "fig11sweep")
 
 
 def _progress(key: str) -> None:
@@ -276,6 +278,59 @@ def cmd_fig11(args, scale):
     }
 
 
+def cmd_fig11sweep(args, scale):
+    """Recovery time vs ``recovery_partitions`` (RAMCloud-style sweep).
+
+    Re-runs the fig11 timeline at Fm = 2 for each partition count and
+    gates on the RAMCloud property: recovery time must *strictly*
+    decrease as partitions grow, because each doubling doubles the
+    source links streaming the image back.  The ``sift/memnode-failure``
+    anchor point re-runs fig11 itself (Fm = 1, single stream) and must
+    match the fig11 artifact byte-for-byte.
+    """
+    kill_at, restart_at, duration, clients = fig11_timings(args.smoke)
+    points = fig11sweep_points(scale, args.seed, args.smoke)
+    results = run_points(points, jobs=args.jobs, progress=_progress)
+    rows = []
+    sweep_keys = [f"sift/recovery-f2-p{p}" for p in RECOVERY_SWEEP_PARTITIONS]
+    for key in sweep_keys:
+        cell = results[key]
+        copy_ms = (cell["copy_us"] or 0) / 1e3
+        rows.append(
+            (
+                key,
+                f"recovery {cell['recovery_s']:7.3f} s   "
+                f"copy {copy_ms:8.3f} ms   "
+                f"sources {len(cell['sources'] or [])}",
+            )
+        )
+    print(kv_table("Figure 11 sweep: recovery time vs partitions (Fm=2)", rows))
+    recovery_times = [results[key]["recovery_s"] for key in sweep_keys]
+    if any(t is None for t in recovery_times):
+        print("WARNING: a sweep point never finished recovery", file=sys.stderr)
+        args._failed = True
+    elif not all(a > b for a, b in zip(recovery_times, recovery_times[1:])):
+        print(
+            "WARNING: recovery time is not strictly decreasing in "
+            f"partitions: {recovery_times}",
+            file=sys.stderr,
+        )
+        args._failed = True
+    return {
+        "simulated": {point.key: results[point.key] for point in points},
+        "params": {
+            "f": 2,
+            "cores": 12,
+            "clients": clients,
+            "kill_at_us": kill_at,
+            "restart_at_us": restart_at,
+            "duration_us": duration,
+            "workload": "read-heavy",
+            "partitions": list(RECOVERY_SWEEP_PARTITIONS),
+        },
+    }
+
+
 def cmd_throughput(args, scale):
     spec = build_spec(args.system, scale, cores=args.cores)
     result = run_throughput(
@@ -308,6 +363,7 @@ COMMANDS = {
     "fig9": cmd_fig9,
     "fig10": cmd_fig10,
     "fig11": cmd_fig11,
+    "fig11sweep": cmd_fig11sweep,
     "throughput": cmd_throughput,
 }
 

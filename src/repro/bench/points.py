@@ -33,10 +33,13 @@ __all__ = [
     "fig8live_points",
     "fig11_points",
     "fig11_timings",
+    "fig11sweep_points",
     "throughput_point",
     "latency_point",
     "live_pool_point",
     "memnode_failure_point",
+    "recovery_sweep_point",
+    "RECOVERY_SWEEP_PARTITIONS",
 ]
 
 #: Fig. 5 system order (slowest first, matching the paper's bar groups).
@@ -100,12 +103,29 @@ def fig11_timings(smoke: bool):
     return 0.6 * SEC, 0.9 * SEC, 3.0 * SEC, 10
 
 
-def memnode_failure_point(smoke: bool, scale: BenchScale, seed: int) -> dict:
-    """The Figure 11 timeline: kill memory node 2, restart it, watch
-    the copy-back finish.  One point — the timeline is a single run."""
-    kill_at, restart_at, duration, clients = fig11_timings(smoke)
-    spec = sift_spec(cores=12, scale=scale)
+def _memnode_failure_run(
+    smoke: bool,
+    scale: BenchScale,
+    seed: int,
+    f: int = 1,
+    recovery_partitions: int = 1,
+    timings=None,
+) -> dict:
+    """One Figure-11-style timeline: kill memory node 2, restart it,
+    watch the copy-back finish.
+
+    Shared by the fig11 point (``f=1``, single-stream recovery — the
+    schedule must stay byte-identical to the pre-partitioning runs) and
+    the fig11sweep points (``f=2`` so four source links exist, sweeping
+    ``recovery_partitions``).  *timings* overrides the fig11 schedule
+    for tiny in-test runs.
+    """
+    kill_at, restart_at, duration, clients = timings or fig11_timings(smoke)
+    spec = sift_spec(
+        f=f, cores=12, scale=scale, recovery_partitions=recovery_partitions
+    )
     recovered_at: List[float] = []
+    copy_stats: List[dict] = []
 
     def watch_recovery(group):
         def watch():
@@ -113,6 +133,9 @@ def memnode_failure_point(smoke: bool, scale: BenchScale, seed: int) -> dict:
             while coordinator.repmem.states[2] != "live":
                 yield group.fabric.sim.timeout(10 * MS)
             recovered_at.append(group.fabric.sim.now)
+            manager = coordinator.recovery_manager
+            if manager is not None and 2 in manager.copy_stats:
+                copy_stats.append(dict(manager.copy_stats[2]))
 
         group.fabric.sim.spawn(watch(), name="watch-recovery")
 
@@ -134,10 +157,62 @@ def memnode_failure_point(smoke: bool, scale: BenchScale, seed: int) -> dict:
     recovery_s = (
         (recovered_at[0] - result.base_us) / 1e6 if recovered_at else None
     )
+    # The poll-based recovery_s above is quantised at the watcher's
+    # 10 ms tick (and is part of the fig11 artifact contract); the copy
+    # stats carry an exact completion stamp for the sweep to gate on.
+    copy = copy_stats[0] if copy_stats else None
+    precise_s = (
+        (copy["finished_at_us"] - result.base_us) / 1e6
+        if copy and copy.get("finished_at_us") is not None
+        else None
+    )
     return {
         "series": [[t, ops] for t, ops in result.series],
         "events": [[t, label] for t, label in result.events],
         "recovery_s": recovery_s,
+        "recovery_precise_s": precise_s,
+        "copy": copy,
+    }
+
+
+def memnode_failure_point(smoke: bool, scale: BenchScale, seed: int) -> dict:
+    """The Figure 11 timeline: kill memory node 2, restart it, watch
+    the copy-back finish.  One point — the timeline is a single run."""
+    run = _memnode_failure_run(smoke, scale, seed)
+    return {
+        "series": run["series"],
+        "events": run["events"],
+        "recovery_s": run["recovery_s"],
+    }
+
+
+#: Partition counts swept by fig11sweep.  The sweep runs at Fm = 2
+#: (five memory nodes, four live sources once one fails) so each
+#: doubling genuinely doubles the source links feeding the rejoining
+#: node — with fig11's Fm = 1 only two sources exist and the curve
+#: would flatten at two partitions.
+RECOVERY_SWEEP_PARTITIONS = (1, 2, 4)
+
+
+def recovery_sweep_point(
+    smoke: bool, scale: BenchScale, seed: int, partitions: int
+) -> dict:
+    """One fig11sweep cell: the fig11 timeline at Fm = 2 with
+    ``recovery_partitions=partitions``, plus the copy-phase stats the
+    partition count actually moves."""
+    run = _memnode_failure_run(
+        smoke, scale, seed, f=2, recovery_partitions=partitions
+    )
+    copy = run["copy"] or {}
+    return {
+        "partitions": partitions,
+        "recovery_s": run["recovery_precise_s"],
+        "recovery_poll_s": run["recovery_s"],
+        "copy_us": copy.get("copy_us"),
+        "copy_bytes": copy.get("bytes"),
+        "sources": copy.get("sources"),
+        "series": run["series"],
+        "events": run["events"],
     }
 
 
@@ -372,4 +447,36 @@ def fig11_points(scale: BenchScale, seed: int, smoke: bool) -> List[Point]:
             kwargs={"smoke": smoke, "scale": scale, "seed": seed},
         )
     ]
+    return points
+
+
+def fig11sweep_points(scale: BenchScale, seed: int, smoke: bool) -> List[Point]:
+    """The recovery-time-vs-partitions sweep, plus the exact fig11 point.
+
+    The ``sift/memnode-failure`` anchor re-runs fig11's timeline with
+    the same seed and scale: its result must stay byte-identical to the
+    fig11 artifact, pinning the partitions=1 path to the pre-sweep
+    numbers (``tests/test_recovery_determinism.py`` compares the two
+    committed baselines).
+    """
+    points = [
+        Point(
+            key="sift/memnode-failure",
+            fn=memnode_failure_point,
+            kwargs={"smoke": smoke, "scale": scale, "seed": seed},
+        )
+    ]
+    for partitions in RECOVERY_SWEEP_PARTITIONS:
+        points.append(
+            Point(
+                key=f"sift/recovery-f2-p{partitions}",
+                fn=recovery_sweep_point,
+                kwargs={
+                    "smoke": smoke,
+                    "scale": scale,
+                    "seed": seed,
+                    "partitions": partitions,
+                },
+            )
+        )
     return points

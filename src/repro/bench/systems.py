@@ -49,11 +49,15 @@ def sift_spec(
     cores: Optional[int] = None,
     scale: BenchScale = DEFAULT_SCALE,
     kv_overrides: Optional[dict] = None,
+    recovery_partitions: int = 1,
 ) -> SystemSpec:
     """A Sift group serving the paper's KV store.
 
     *kv_overrides* tweaks :class:`KvConfig` fields (cache fraction,
     apply workers, ...) for ablation experiments.
+    *recovery_partitions* selects the memory-node recovery strategy:
+    1 is the paper's coordinator-driven stream, above 1 enables the
+    RAMCloud-style partitioned source→target copy (the fig11 sweep).
     """
     kv_kwargs = dict(
         max_keys=scale.keys + 1024,
@@ -72,6 +76,7 @@ def sift_spec(
             erasure_coding=erasure_coding,
             wal_entries=scale.wal_entries,
             cpu_node_cores=cores,
+            recovery_partitions=recovery_partitions,
         )
         group = SiftGroup(
             fabric, sift_config, name=name, app_factory=kv_app_factory(kv_config)

@@ -23,6 +23,7 @@ from repro.core.config import CpuCosts, SiftConfig
 from repro.core.cpu_node import CpuNode, Role
 from repro.core.group import SiftGroup
 from repro.core.locks import BlockLockTable, LockMode
+from repro.core.partition import RecoveryPartition, plan_fragments, plan_partitions
 from repro.core.replicated_memory import ReplicatedMemory
 from repro.core.backups import BackupPool
 
@@ -32,8 +33,11 @@ __all__ = [
     "CpuCosts",
     "CpuNode",
     "LockMode",
+    "RecoveryPartition",
     "ReplicatedMemory",
     "Role",
     "SiftConfig",
     "SiftGroup",
+    "plan_fragments",
+    "plan_partitions",
 ]

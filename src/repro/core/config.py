@@ -112,6 +112,20 @@ class SiftConfig:
     to 1 for a gentle copy that trades recovery time for steadier
     throughput (the flexibility §6.5 points out)."""
 
+    recovery_partitions: int = 1
+    """Partition count for RAMCloud-style parallel memory-node recovery.
+
+    ``1`` (the default) preserves the paper's single coordinator-driven
+    copy stream — the §3.4.2 path, byte-for-byte.  Values above one
+    split the node image into that many contiguous ranges (see
+    :mod:`repro.core.partition`) and stream each range from a live
+    source node *directly* to the rejoining node, so the aggregate copy
+    bandwidth scales with the number of source links instead of being
+    bottlenecked on the coordinator's NIC.  Erasure-coded groups always
+    use the coordinator-driven stream regardless of this knob, because
+    only the coordinator can decode and re-encode the target's chunks.
+    """
+
     recovery_order: str = "sequential"
     """Memory-node recovery copy order: ``sequential`` (the paper's
     implementation) or ``popularity`` — the §6.5 proposal: "a more
@@ -210,6 +224,10 @@ class SiftConfig:
             raise ValueError(
                 "heartbeat writes too slow for the election timeout: a live "
                 "coordinator would be deposed"
+            )
+        if self.recovery_partitions < 1:
+            raise ValueError(
+                f"recovery_partitions must be >= 1, got {self.recovery_partitions}"
             )
         if self.recovery_order not in ("sequential", "popularity"):
             raise ValueError(

@@ -94,6 +94,7 @@ class CpuNode:
         self.term = 0
         self.timestamp = 0
         self.repmem: Optional[ReplicatedMemory] = None
+        self.recovery_manager: Optional[MemoryNodeRecoveryManager] = None
         self.app = None
         self._admin_qps: Dict[int, QueuePair] = {}
         self._last_words: Dict[int, AdminWord] = {}
@@ -115,6 +116,7 @@ class CpuNode:
         self.host.crash()
         self.role = Role.FOLLOWER
         self.repmem = None
+        self.recovery_manager = None
         self.app = None
         self._admin_qps.clear()
 
@@ -258,6 +260,7 @@ class CpuNode:
         repmem.on_deposed = lambda: deposed.try_trigger(None)
         manager = MemoryNodeRecoveryManager(repmem)
         self.repmem = repmem
+        self.recovery_manager = manager
         # The lease begins the moment the election is won: heartbeats must
         # renew *during* log recovery (which can far exceed the election
         # timeout on large stores) or the followers would depose every
@@ -296,6 +299,7 @@ class CpuNode:
                 self.app = None
             repmem.shutdown()
             self.repmem = None
+            self.recovery_manager = None
             self._deposed = None
 
     def _heartbeat_writer(self, deposed: Event):

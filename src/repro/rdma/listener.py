@@ -12,7 +12,7 @@ keep deposed coordinators from writing stale data (§3.2).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro.net.host import Host
 from repro.rdma.errors import RdmaProtectionError
@@ -25,12 +25,16 @@ __all__ = ["RdmaListener"]
 
 
 class _Export:
-    __slots__ = ("region", "exclusive", "holder")
+    __slots__ = ("region", "exclusive", "holder", "fenced_by", "holders")
 
-    def __init__(self, region: MemoryRegion, exclusive: bool):
+    def __init__(
+        self, region: MemoryRegion, exclusive: bool, fenced_by: Optional[str] = None
+    ):
         self.region = region
         self.exclusive = exclusive
         self.holder: Optional["QueuePair"] = None
+        self.fenced_by = fenced_by
+        self.holders: List["QueuePair"] = []
 
 
 class RdmaListener:
@@ -42,9 +46,22 @@ class RdmaListener:
         self._exports: Dict[str, _Export] = {}
         host.services["rdma-listener"] = self
 
-    def export(self, region: MemoryRegion, exclusive: bool = False) -> None:
-        """Publish *region* for remote access under its name."""
-        self._exports[region.name] = _Export(region, exclusive)
+    def export(
+        self,
+        region: MemoryRegion,
+        exclusive: bool = False,
+        fenced_by: Optional[str] = None,
+    ) -> None:
+        """Publish *region* for remote access under its name.
+
+        *fenced_by* names an exclusive export this one is subordinate
+        to: whenever a new queue pair takes that exclusive export, every
+        holder of this export is revoked too.  This extends the
+        at-most-one-connection fencing of §3.2 to auxiliary views (the
+        recovery-push window) so a deposed coordinator's helpers cannot
+        write after a successor has claimed the primary region.
+        """
+        self._exports[region.name] = _Export(region, exclusive, fenced_by)
 
     def unexport(self, name: str) -> None:
         """Withdraw a region; established QPs fail on next access."""
@@ -82,12 +99,29 @@ class RdmaListener:
                         f"region {name!r} re-attached by {qp.nic.host.name}"
                     )
                 export.holder = qp
+                self._revoke_fenced(name, qp)
+            if export.fenced_by is not None and qp not in export.holders:
+                export.holders.append(qp)
+
+    def _revoke_fenced(self, name: str, winner: "QueuePair") -> None:
+        """Revoke holders of every export subordinate to exclusive *name*."""
+        for sub_name, export in self._exports.items():
+            if export.fenced_by != name:
+                continue
+            for holder in export.holders:
+                if holder is not winner:
+                    holder.revoke(
+                        f"region {sub_name!r} fenced by re-attach of {name!r}"
+                    )
+            export.holders = [qp for qp in export.holders if qp is winner]
 
     def detach(self, qp: "QueuePair") -> None:
         """Drop *qp* from any exclusive holderships (graceful close)."""
         for export in self._exports.values():
             if export.holder is qp:
                 export.holder = None
+            if qp in export.holders:
+                export.holders.remove(qp)
 
     # -- host lifecycle --------------------------------------------------------
 
@@ -95,6 +129,7 @@ class RdmaListener:
         """DRAM and QP contexts vanish with the host."""
         for export in self._exports.values():
             export.holder = None
+            export.holders = []
 
     def clear(self) -> None:
         """Forget all exports (used when re-initialising a restarted node)."""

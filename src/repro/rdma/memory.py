@@ -85,6 +85,23 @@ class MemoryRegion:
         if value:
             raise NotImplementedError("only zero-fill is supported")
 
+    # -- aliasing --------------------------------------------------------------
+
+    def alias(self, name: str) -> "MemoryRegion":
+        """A second named view over the *same* backing pages.
+
+        Used to export one buffer under two protection domains — e.g.
+        the replicated region is exported exclusively to the serving
+        coordinator while a ``repmem-recovery`` alias admits the
+        fragment pushers of partitioned recovery.  Reads and writes
+        through either name land in the same bytes.
+        """
+        view = MemoryRegion.__new__(MemoryRegion)
+        view.name = name
+        view.size = self.size
+        view._pages = self._pages
+        return view
+
     # -- atomics ---------------------------------------------------------------
 
     def read_word(self, offset: int) -> int:

@@ -110,8 +110,20 @@ class QueuePair:
             verb="read",
         )
 
-    def write(self, region_name: str, offset: int, data: bytes) -> Event:
-        """One-sided WRITE; completion ack means remote memory is updated."""
+    def write(
+        self,
+        region_name: str,
+        offset: int,
+        data: bytes,
+        timeout_us: Optional[float] = None,
+    ) -> Event:
+        """One-sided WRITE; completion ack means remote memory is updated.
+
+        *timeout_us* overrides the NIC's per-verb retry budget — bulk
+        recovery pushes queue many large payloads behind one transmit
+        queue, so their legitimate completion times exceed the default
+        budget sized for request/response traffic.
+        """
         payload = bytes(data)
         return self._post(
             region_name,
@@ -119,6 +131,7 @@ class QueuePair:
             response_bytes=ACK_WIRE_BYTES,
             apply=lambda region: region.write(offset, payload),
             verb="write",
+            timeout_us=timeout_us,
         )
 
     def cas(self, region_name: str, offset: int, expected: int, new: int) -> Event:
@@ -150,6 +163,7 @@ class QueuePair:
         response_bytes: int,
         apply,
         verb: str = "verb",
+        timeout_us: Optional[float] = None,
     ) -> Event:
         if self.state is not QpState.CONNECTED:
             failed = Event(self.nic.host.sim)
@@ -173,7 +187,12 @@ class QueuePair:
             return apply(region)
 
         return self.nic.transfer(
-            self.target, request_bytes, response_bytes, apply_remote, verb=verb
+            self.target,
+            request_bytes,
+            response_bytes,
+            apply_remote,
+            timeout_us=timeout_us,
+            verb=verb,
         )
 
     def _state_error(self) -> RdmaError:

@@ -8,6 +8,8 @@ Region map::
 
     admin   (64 B, shared)      offset 0: the 64-bit admin word
     repmem  (exclusive)         [ WAL slots | replicated memory block ]
+    meta    (exclusive)         offset 0: the 64-bit status word
+    repmem-recovery (fenced)    alias of repmem for recovery pushers
 
 By default the regions are volatile: a crash + restart comes back zeroed
 with a new incarnation, and the coordinator must run memory-node recovery
@@ -31,6 +33,14 @@ __all__ = ["MemoryNode", "MemoryNodeConfig"]
 ADMIN_REGION = "admin"
 REPMEM_REGION = "repmem"
 META_REGION = "meta"
+RECOVERY_REGION = "repmem-recovery"
+"""Alias of ``repmem`` used as the landing window for partitioned
+recovery: source memory nodes stream fragments straight into a
+rejoining node through queue pairs granted this view, without touching
+the coordinator's exclusive hold on ``repmem``.  The alias is *fenced
+by* the exclusive export — claiming ``repmem`` revokes every pusher —
+so a deposed coordinator's in-flight pushers cannot write stale
+fragments once a successor owns the node (§3.2 extended to helpers)."""
 ADMIN_WORD_OFFSET = 0
 STATUS_OFFSET = 0
 
@@ -94,6 +104,9 @@ class MemoryNode:
         self.listener.export(self.admin_region, exclusive=False)
         self.listener.export(self.repmem_region, exclusive=True)
         self.listener.export(self.meta_region, exclusive=True)
+        self.listener.export(
+            self.repmem_region.alias(RECOVERY_REGION), fenced_by=REPMEM_REGION
+        )
 
     # -- fault injection ---------------------------------------------------------
 

@@ -32,6 +32,11 @@ class TestBuild:
         cluster = Cluster.build("sift-ec", seed=7)
         assert roundtrip(cluster) == b"Ada Lovelace"
 
+    def test_sift_recovery_partitions_knob_reaches_the_group(self):
+        cluster = Cluster.build("sift", seed=7, recovery_partitions=4)
+        assert cluster.inner.config.recovery_partitions == 4
+        assert roundtrip(cluster) == b"Ada Lovelace"
+
     def test_raft_roundtrip(self):
         cluster = Cluster.build("raft-r", seed=7)
         assert roundtrip(cluster) == b"Ada Lovelace"

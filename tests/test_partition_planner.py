@@ -1,0 +1,119 @@
+"""Property tests for the recovery partition planner.
+
+The planner is pure arithmetic, so these tests pin its invariants over
+arbitrary geometry: every byte of the image belongs to exactly one
+fragment of exactly one partition, fragments respect the direct-zone
+boundary, and partition boundaries land on the block-lock grid whenever
+the fragment grid allows it.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import plan_fragments, plan_partitions
+
+# Geometry strategy: sizes up to a few MiB keep runs fast while still
+# exercising non-divisible chunk/data/partition combinations.
+data_bytes_st = st.integers(min_value=0, max_value=4 * 1024 * 1024)
+chunk_bytes_st = st.integers(min_value=1, max_value=256 * 1024)
+partitions_st = st.integers(min_value=1, max_value=64)
+block_bytes_st = st.integers(min_value=1, max_value=8 * 1024)
+
+
+@st.composite
+def geometry(draw):
+    data = draw(data_bytes_st)
+    chunk = draw(chunk_bytes_st)
+    direct = draw(st.integers(min_value=0, max_value=data))
+    return data, chunk, direct
+
+
+class TestPlanFragments:
+    @given(geometry())
+    @settings(max_examples=200, deadline=None)
+    def test_fragments_tile_the_image_exactly(self, geom):
+        data, chunk, direct = geom
+        fragments = plan_fragments(data, chunk, direct)
+        cursor = 0
+        for addr, length in fragments:
+            assert addr == cursor, "gap or overlap between fragments"
+            assert length > 0
+            cursor = addr + length
+        assert cursor == data
+
+    @given(geometry())
+    @settings(max_examples=200, deadline=None)
+    def test_fragments_never_straddle_the_direct_boundary(self, geom):
+        data, chunk, direct = geom
+        for addr, length in plan_fragments(data, chunk, direct):
+            assert not (addr < direct < addr + length)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            plan_fragments(1024, 0)
+        with pytest.raises(ValueError):
+            plan_fragments(-1, 64)
+        with pytest.raises(ValueError):
+            plan_fragments(1024, 64, direct_bytes=2048)
+
+
+class TestPlanPartitions:
+    @given(geometry(), partitions_st, block_bytes_st)
+    @settings(max_examples=200, deadline=None)
+    def test_every_byte_in_exactly_one_partition(self, geom, partitions, block):
+        data, chunk, direct = geom
+        plan = plan_partitions(data, chunk, partitions, direct, block)
+        assert len(plan) == partitions
+        cursor = 0
+        for part in plan:
+            assert part.start == cursor, "partitions must be contiguous"
+            assert part.end >= part.start
+            frag_cursor = part.start
+            for addr, length in part.fragments:
+                assert addr == frag_cursor
+                frag_cursor = addr + length
+            assert frag_cursor == part.end
+            assert part.total_bytes == part.end - part.start
+            cursor = part.end
+        assert cursor == data, "partitions must cover the whole image"
+
+    @given(geometry(), partitions_st, block_bytes_st)
+    @settings(max_examples=200, deadline=None)
+    def test_boundaries_snap_to_the_block_grid(self, geom, partitions, block):
+        data, chunk, direct = geom
+        plan = plan_partitions(data, chunk, partitions, direct, block)
+        for part in plan[:-1]:
+            # Interior boundaries are block-aligned unless the image
+            # itself ends the partition (the planner absorbs fragments
+            # forward until the boundary lands on the grid).
+            assert part.end % block == 0 or part.end == data
+
+    @given(st.integers(min_value=1, max_value=8), partitions_st)
+    @settings(max_examples=100, deadline=None)
+    def test_more_partitions_than_fragments_yields_empty_tails(
+        self, fragment_count, partitions
+    ):
+        chunk = 64
+        data = fragment_count * chunk
+        plan = plan_partitions(data, chunk, partitions)
+        non_empty = [p for p in plan if p.fragments]
+        assert len(non_empty) == min(fragment_count, partitions)
+        for part in plan:
+            if not part.fragments:
+                assert part.start == part.end == data
+
+    @given(geometry(), partitions_st)
+    @settings(max_examples=100, deadline=None)
+    def test_partitions_one_matches_the_flat_plan(self, geom, partitions):
+        data, chunk, direct = geom
+        flat = plan_fragments(data, chunk, direct)
+        plan = plan_partitions(data, chunk, 1, direct)
+        assert list(plan[0].fragments) == flat
+
+    def test_rejects_bad_partition_count(self):
+        with pytest.raises(ValueError):
+            plan_partitions(1024, 64, 0)
+        with pytest.raises(ValueError):
+            plan_partitions(1024, 64, 2, block_bytes=0)
