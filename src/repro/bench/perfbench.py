@@ -21,23 +21,30 @@ changes can be justified (or caught regressing) with numbers:
   which is why the artifact records ``host.cpu_count``.
 
 Results go to ``PERF_perfbench.json`` (:func:`repro.obs.artifact.
-write_perf_artifact`).  Perf artifacts are never strictly compared —
-wall clock is host property, not a correctness property — but CI's
-perf-smoke job uploads one per run so trends are visible.
+write_perf_artifact`).  Absolute rates are host properties and never
+strictly compared, but the fast-vs-reference *ratios* are host
+independent enough to gate on: ``--gate`` loads the committed floors
+(``benchmarks/perf/perf_floors.json``), checks every floored metric,
+and exits non-zero if any ratio regressed below its floor.  Floors are
+set well under the measured ratios to absorb CI-host noise; a genuine
+engine regression (e.g. losing lazy cancellation) undershoots them by
+integer factors.
 
 Example::
 
     PYTHONPATH=src python -m repro.bench.perfbench --out-dir bench_artifacts
-    PYTHONPATH=src python -m repro.bench.perfbench --quick   # CI sizes
+    PYTHONPATH=src python -m repro.bench.perfbench --quick --gate  # CI lane
 """
 
 from __future__ import annotations
 
 import argparse
 import gc
+import json
 import sys
 import time
-from typing import Callable, Dict
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
 
 from repro.bench import runner
 from repro.bench.calibration import SMOKE_SCALE
@@ -56,7 +63,7 @@ from repro.sim import engine, reference
 from repro.sim.rng import RngStreams
 from repro.workloads import WORKLOADS
 
-__all__ = ["main", "run_perfbench"]
+__all__ = ["main", "run_perfbench", "load_floors", "check_floors"]
 
 ENGINES = {"fast": engine.Simulator, "reference": reference.Simulator}
 
@@ -145,10 +152,46 @@ def _timer_churn(sim_factory: Callable, n: int) -> int:
     return n
 
 
+def _wheel_churn(sim_factory: Callable, n: int) -> int:
+    """Cross-level wheel traffic.
+
+    Delays span level-0, level-1 and level-2 slots (~1.7 simulated
+    seconds); a quarter of the timers are cancelled and replaced by
+    refires past the 2^24us horizon, so the overflow heap cascades back
+    down through every level.  On the fast engine this exercises slot
+    appends, cascades, lazy cancellation inside buckets and overflow
+    refills; the reference engine pays plain heap churn for the same
+    schedule.  The fired count is engine-independent: cancelled timers
+    never carried a callback.
+    """
+    sim = sim_factory()
+    fired = [0]
+
+    def tick(_ev):
+        fired[0] += 1
+
+    doomed = []
+    for i in range(n):
+        delay = 1.0 + (i % 509) * 3301.0
+        timer = sim.timeout(delay)
+        if i % 4:
+            timer.add_callback(tick)
+        else:
+            doomed.append(timer)
+            refire = sim.timeout(delay + 16_777_216.0)
+            refire.add_callback(tick)
+    for timer in doomed:
+        timer.cancel()
+    sim.run()
+    assert fired[0] == n
+    return n
+
+
 ENGINE_BENCHES = {
     "heap_churn": _heap_churn,
     "cascade": _cascade,
     "timer_churn": _timer_churn,
+    "wheel_churn": _wheel_churn,
 }
 
 
@@ -255,6 +298,90 @@ def _fig5_section(repeat: int, log) -> Dict[str, object]:
     return section
 
 
+# -- coalesced fig5 driver (the doorbell/coalescing payoff) ------------------
+
+COALESCED_WORKLOAD = "write-only"
+COALESCED_CLIENTS = 24
+
+
+def _coalesced_point(engine_name: str, coalesced: bool):
+    """One write-only Figure 5 point; *coalesced* turns on the batching
+    stack (doorbell verb flushes + WAL-append coalescing)."""
+    previous = runner.SIMULATOR_FACTORY
+    runner.SIMULATOR_FACTORY = ENGINES[engine_name]
+    try:
+        spec = sift_spec(
+            cores=12,
+            scale=SMOKE_SCALE,
+            kv_overrides={"coalesce_appends": True} if coalesced else None,
+            sift_overrides={"doorbell_batching": True} if coalesced else None,
+        )
+        return run_throughput(
+            spec,
+            WORKLOADS[COALESCED_WORKLOAD],
+            n_clients=COALESCED_CLIENTS,
+            scale=SMOKE_SCALE,
+            seed=1,
+        )
+    finally:
+        runner.SIMULATOR_FACTORY = previous
+
+
+def _coalesced_fig5_section(repeat: int, log) -> Dict[str, object]:
+    """Four-way grid: {fast, reference} engine x {plain, coalesced} stack.
+
+    Within each stack the two engines must agree on the simulated
+    numbers bit-for-bit (the A/B guarantee); across stacks the simulated
+    numbers legitimately differ — that is the modelled amortization.
+    ``driven_speedup`` is the headline: the pre-batching stack
+    (reference engine, per-record appends, per-verb doorbells) against
+    the full stack (timer wheel + doorbell batching + append coalescing)
+    driving the same workload.
+    """
+    grid = [(name, mode) for name in ENGINES for mode in (False, True)]
+    results: Dict[tuple, object] = {}
+    walls = {key: float("inf") for key in grid}
+    for _ in range(repeat):  # engines and stacks interleaved per repetition
+        for key in grid:
+            gc.collect()
+            started = time.perf_counter()
+            results[key] = _coalesced_point(*key)
+            walls[key] = min(walls[key], time.perf_counter() - started)
+    for mode in (False, True):
+        fast, ref = results[("fast", mode)], results[("reference", mode)]
+        if (fast.ops_per_sec, fast.completed, fast.errors) != (
+            ref.ops_per_sec, ref.completed, ref.errors
+        ):
+            raise AssertionError(
+                f"engines disagree on simulated numbers (coalesced={mode}): "
+                f"fast={fast} reference={ref}"
+            )
+    plain = results[("fast", False)]
+    coal = results[("fast", True)]
+    section = {
+        "system": "sift",
+        "workload": COALESCED_WORKLOAD,
+        "clients": COALESCED_CLIENTS,
+        "plain_ops_per_sec": plain.ops_per_sec,
+        "coalesced_ops_per_sec": coal.ops_per_sec,
+        "simulated_speedup": coal.ops_per_sec / plain.ops_per_sec,
+        "fast_plain_wall_s": walls[("fast", False)],
+        "fast_coalesced_wall_s": walls[("fast", True)],
+        "reference_plain_wall_s": walls[("reference", False)],
+        "reference_coalesced_wall_s": walls[("reference", True)],
+        "engine_speedup": walls[("reference", False)] / walls[("fast", False)],
+        "amortization_speedup": walls[("fast", False)] / walls[("fast", True)],
+        "driven_speedup": walls[("reference", False)] / walls[("fast", True)],
+        "simulated_identical": True,
+    }
+    log(
+        f"coalesced-fig5: {section['coalesced_ops_per_sec']:,.0f} ops/s simulated "
+        f"({section['simulated_speedup']:.2f}x vs plain), driven "
+        f"{section['driven_speedup']:.2f}x vs pre-batching stack"
+    )
+    return section
+
+
 # -- parallel sweep scaling --------------------------------------------------
 
 
@@ -300,6 +427,44 @@ def _parallel_section(log) -> Dict[str, float]:
     return section
 
 
+# -- perf-regression gate ----------------------------------------------------
+
+FLOORS_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / "perf" / "perf_floors.json"
+
+
+def load_floors(path: Optional[Path] = None) -> Dict[str, float]:
+    """Load the committed ratio floors (``{"floors": {dotted.path: min}}``)."""
+    with open(path or FLOORS_PATH) as fh:
+        data = json.load(fh)
+    return {str(key): float(value) for key, value in data["floors"].items()}
+
+
+def check_floors(
+    results: Dict[str, object], floors: Dict[str, float]
+) -> List[str]:
+    """Check every floored metric; returns human-readable violations.
+
+    Keys are dotted paths into the results dict
+    (``engine.heap_churn.speedup``).  A missing path is itself a
+    violation — a renamed or dropped scenario must not silently pass.
+    """
+    violations: List[str] = []
+    for dotted, floor in sorted(floors.items()):
+        node: object = results
+        for part in dotted.split("."):
+            if not isinstance(node, dict) or part not in node:
+                violations.append(f"{dotted}: metric missing from results")
+                node = None
+                break
+            node = node[part]
+        if node is None:
+            continue
+        value = float(node)  # type: ignore[arg-type]
+        if value < floor:
+            violations.append(f"{dotted}: {value:.2f} < floor {floor:.2f}")
+    return violations
+
+
 # -- harness -----------------------------------------------------------------
 
 
@@ -320,6 +485,7 @@ def run_perfbench(
     }
     log(f"rdma loopback: {timing['per_s']:,.0f} verbs/s")
     results["fig5_smoke"] = _fig5_section(repeat, log)
+    results["coalesced_fig5"] = _coalesced_fig5_section(repeat, log)
     results["parallel_sweep"] = _parallel_section(log)
     return results
 
@@ -339,11 +505,22 @@ def main(argv=None) -> int:
                         help="repetitions per measurement (best-of)")
     parser.add_argument("--quick", action="store_true",
                         help="CI sizing: fewer events, single repetition")
+    parser.add_argument("--gate", action="store_true",
+                        help="check fast-vs-reference ratios against the "
+                             "committed floors and exit non-zero on any miss")
+    parser.add_argument("--floors", default=None,
+                        help="override the floors file "
+                             f"(default: {FLOORS_PATH})")
     args = parser.parse_args(argv)
     if args.quick:
         args.events = min(args.events, 50_000)
         args.rdma_verbs = min(args.rdma_verbs, 2_000)
         args.repeat = 1
+    if args.gate:
+        # Ratios from a single repetition are too noisy to gate on
+        # (best-of-1 conflates engine speed with scheduler jitter).
+        args.repeat = max(args.repeat, 2)
+        floors = load_floors(Path(args.floors) if args.floors else None)
 
     results = run_perfbench(
         events=args.events, rdma_verbs=args.rdma_verbs, repeat=args.repeat
@@ -354,6 +531,7 @@ def main(argv=None) -> int:
         for name, row in results["engine"].items()
     ]
     fig5 = results["fig5_smoke"]
+    coalesced = results["coalesced_fig5"]
     sweep = results["parallel_sweep"]
     print(kv_table(
         "perfbench: wall-clock rates (fast engine, speedup vs reference)",
@@ -363,6 +541,9 @@ def main(argv=None) -> int:
             ("fig5 smoke point",
              f"{fig5['fast_driver_ops_per_s']:,.0f} ops/s, "
              f"{fig5['speedup']:.2f}x"),
+            ("coalesced fig5 point",
+             f"{coalesced['simulated_speedup']:.2f}x simulated, "
+             f"{coalesced['driven_speedup']:.2f}x driven"),
             ("sweep jobs=2 vs jobs=1", f"{sweep['scaling']:.2f}x"),
         ],
     ))
@@ -378,6 +559,13 @@ def main(argv=None) -> int:
         },
     )
     print(f"  wrote {path}", file=sys.stderr)
+    if args.gate:
+        violations = check_floors(results, floors)
+        if violations:
+            for violation in violations:
+                print(f"PERF-GATE FAIL {violation}", file=sys.stderr)
+            return 1
+        print(f"PERF-GATE OK ({len(floors)} floors held)", file=sys.stderr)
     return 0
 
 

@@ -50,11 +50,14 @@ def sift_spec(
     scale: BenchScale = DEFAULT_SCALE,
     kv_overrides: Optional[dict] = None,
     recovery_partitions: int = 1,
+    sift_overrides: Optional[dict] = None,
 ) -> SystemSpec:
     """A Sift group serving the paper's KV store.
 
     *kv_overrides* tweaks :class:`KvConfig` fields (cache fraction,
-    apply workers, ...) for ablation experiments.
+    apply workers, coalesce_appends, ...) for ablation experiments;
+    *sift_overrides* does the same for :class:`SiftConfig` fields
+    (doorbell_batching, timeouts, ...).
     *recovery_partitions* selects the memory-node recovery strategy:
     1 is the paper's coordinator-driven stream, above 1 enables the
     RAMCloud-style partitioned source→target copy (the fig11 sweep).
@@ -70,13 +73,17 @@ def sift_spec(
     name = f"sift{'-ec' if erasure_coding else ''}"
 
     def build(fabric: Fabric) -> SiftGroup:
+        sift_kwargs = dict(
+            wal_entries=scale.wal_entries,
+            cpu_node_cores=cores,
+            recovery_partitions=recovery_partitions,
+        )
+        sift_kwargs.update(sift_overrides or {})
         sift_config = kv_config.sift_config(
             fm=f,
             fc=f,
             erasure_coding=erasure_coding,
-            wal_entries=scale.wal_entries,
-            cpu_node_cores=cores,
-            recovery_partitions=recovery_partitions,
+            **sift_kwargs,
         )
         group = SiftGroup(
             fabric, sift_config, name=name, app_factory=kv_app_factory(kv_config)

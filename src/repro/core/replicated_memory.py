@@ -260,6 +260,26 @@ class ReplicatedMemory:
             self.locks.release(token)
         return data
 
+    def _fan_out_write(self, offset: int, data: bytes) -> List[Tuple[int, Event]]:
+        """Post one WRITE of *data* at *offset* to every active node.
+
+        With ``doorbell_batching`` the per-node writes are staged via
+        :meth:`QueuePair.prepare_write` and flushed under a single
+        doorbell — one NIC ``verb_overhead_us`` for the whole fan-out —
+        otherwise each write posts individually.  Returns ``(node,
+        completion event)`` pairs in node order either way; completion
+        and error semantics per node are identical across both paths.
+        """
+        nodes = self._active_nodes()
+        if self.config.doorbell_batching:
+            posts = [
+                self.qps[n].prepare_write(REPMEM_REGION, offset, data)
+                for n in nodes
+            ]
+            self.nic.post_many(posts)
+            return [(n, post.done) for n, post in zip(nodes, posts)]
+        return [(n, self.qps[n].write(REPMEM_REGION, offset, data)) for n in nodes]
+
     def direct_write(self, addr: int, data: bytes):
         """Process: unlogged raw write committed on a quorum of live nodes.
 
@@ -276,8 +296,7 @@ class ReplicatedMemory:
         yield self.host.execute(self.costs.rdma_post_us)
         offset = self.amap.raw_extent(addr)
         acks = []
-        for n in self._active_nodes():
-            event = self.qps[n].write(REPMEM_REGION, offset, data)
+        for n, event in self._fan_out_write(offset, data):
             event.add_callback(lambda ev, n=n: self._note_verb(n, ev))
             if self.states[n] == NodeState.LIVE:
                 acks.append(event)
@@ -384,8 +403,7 @@ class ReplicatedMemory:
         image = self.codec.encode(entry)[: HEADER_BYTES + len(data)]
         offset = self.wal_layout.slot_offset(index)
         live_acks = []
-        for n in self._active_nodes():
-            event = self.qps[n].write(REPMEM_REGION, offset, image)
+        for n, event in self._fan_out_write(offset, image):
             event.add_callback(lambda ev, n=n: self._note_verb(n, ev))
             if self.states[n] == NodeState.LIVE:
                 live_acks.append(event)

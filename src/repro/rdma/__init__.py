@@ -25,8 +25,14 @@ Public surface:
   export table (the only part that uses the target CPU).
 * :class:`~repro.rdma.messaging.RdmaMessenger` — two-sided SEND/RECV used
   by the Raft-R baseline.
+* :class:`~repro.rdma.doorbell.DoorbellQueue` /
+  :class:`~repro.rdma.doorbell.PostedVerb` — doorbell-style verb
+  batching: stage writes with
+  :meth:`~repro.rdma.qp.QueuePair.prepare_write`, flush N of them under
+  one doorbell charge with :meth:`~repro.rdma.nic.Rnic.post_many`.
 """
 
+from repro.rdma.doorbell import DoorbellQueue, PostedVerb
 from repro.rdma.errors import (
     RdmaConnectionRevoked,
     RdmaError,
@@ -40,7 +46,9 @@ from repro.rdma.nic import Rnic
 from repro.rdma.qp import QueuePair
 
 __all__ = [
+    "DoorbellQueue",
     "MemoryRegion",
+    "PostedVerb",
     "QueuePair",
     "RdmaConnectionRevoked",
     "RdmaError",

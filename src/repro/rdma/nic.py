@@ -175,6 +175,78 @@ class Rnic:
         self._txq.execute(serialise_cost).add_callback(after_serialise)
         return done
 
+    def post_many(self, posts) -> "list[Event]":
+        """Flush prepared verbs (:class:`~repro.rdma.doorbell.PostedVerb`)
+        in one doorbell.
+
+        The whole batch pays ``verb_overhead_us`` **once** — that is the
+        doorbell/PCIe cost — and the payloads serialise back-to-back at
+        link bandwidth through the same FIFO transmit queue as unbatched
+        verbs.  Everything after serialisation (per-target in-order
+        delivery, remote apply, acks, timeout guards) is the unbatched
+        :meth:`transfer` machinery per post, so error and ordering
+        semantics are identical.  Posts whose ``done`` is already
+        settled (failed validation) are skipped.
+        """
+        sim = self.host.sim
+        registry = obs_state.REGISTRY
+        live = []
+        total_request_bytes = 0
+        for post in posts:
+            done = post.done
+            if done.settled:
+                continue
+            target = post.target
+            budget = post.timeout_us if post.timeout_us is not None else self.timeout_us
+            guard = sim.schedule(
+                budget,
+                lambda done=done, target=target, budget=budget: done.try_fail(
+                    RdmaTimeout(f"verb to {target.name} exceeded {budget}us")
+                ),
+            )
+            done.add_callback(lambda _ev, guard=guard: sim.cancel(guard))
+            self.verbs_issued += 1
+            if registry is not None:
+                registry.counter("rdma.verbs", type=post.verb).inc()
+                registry.counter("rdma.bytes", dir="tx").inc(post.request_bytes)
+                registry.counter("rdma.bytes", dir="rx").inc(post.response_bytes)
+            total_request_bytes += post.request_bytes
+            live.append(post)
+        if not live:
+            return [post.done for post in posts]
+        if registry is not None:
+            registry.counter("rdma.doorbells").inc()
+            registry.counter("rdma.doorbell_posts").inc(len(live))
+        span = None
+        if obs_state.TRACER is not None:
+            span = obs_state.TRACER.span(
+                "rdma.doorbell",
+                sim.now,
+                src=self.host.name,
+                posts=len(live),
+                req_bytes=total_request_bytes,
+            )
+            span.finish(sim.now)
+
+        def after_serialise(_event: Event) -> None:
+            if not self.host.alive:
+                return  # the requester died with the flush still queued
+            for post in live:
+                if not post.done.settled:
+                    self._propagate(
+                        post.target,
+                        post.request_bytes,
+                        post.response_bytes,
+                        post.apply_remote,
+                        post.done,
+                    )
+
+        serialise_cost = (
+            total_request_bytes / self.bytes_per_us + self.verb_overhead_us
+        )
+        self._txq.execute(serialise_cost).add_callback(after_serialise)
+        return [post.done for post in posts]
+
     def _propagate(
         self,
         target: Host,

@@ -20,6 +20,7 @@ import itertools
 from enum import Enum
 from typing import Iterable, Optional, Tuple
 
+from repro.rdma.doorbell import PostedVerb
 from repro.rdma.errors import RdmaConnectionRevoked, RdmaError
 from repro.rdma.listener import RdmaListener
 from repro.rdma.nic import Rnic
@@ -132,6 +133,55 @@ class QueuePair:
             apply=lambda region: region.write(offset, payload),
             verb="write",
             timeout_us=timeout_us,
+        )
+
+    def prepare_write(
+        self,
+        region_name: str,
+        offset: int,
+        data: bytes,
+        timeout_us: Optional[float] = None,
+    ) -> PostedVerb:
+        """Stage a WRITE for a doorbell flush without touching the NIC.
+
+        Validation (connection state, region grant) happens now, exactly
+        as :meth:`write` would; a rejected verb returns a
+        :class:`~repro.rdma.doorbell.PostedVerb` whose ``done`` event is
+        already failed, which :meth:`~repro.rdma.nic.Rnic.post_many`
+        skips.  The staged verb only consumes simulated resources when
+        the doorbell rings.
+        """
+        payload = bytes(data)
+        done = Event(self.nic.host.sim)
+        if self.state is not QpState.CONNECTED:
+            done.fail(self._state_error())
+            return PostedVerb(
+                self.target, len(payload), ACK_WIRE_BYTES, None, "write", timeout_us, done
+            )
+        if region_name not in self.granted:
+            done.fail(RdmaError(f"{self.name}: region {region_name!r} not granted"))
+            return PostedVerb(
+                self.target, len(payload), ACK_WIRE_BYTES, None, "write", timeout_us, done
+            )
+
+        def apply_remote():
+            if self._remote_incarnation != self.target.incarnation:
+                raise RdmaError(f"{self.name}: stale connection (peer rebooted)")
+            if self.state is QpState.REVOKED:
+                raise RdmaConnectionRevoked(f"{self.name}: connection revoked")
+            if self.state is not QpState.CONNECTED:
+                raise self._state_error()
+            region = self.listener.lookup(region_name)
+            return region.write(offset, payload)
+
+        return PostedVerb(
+            self.target,
+            len(payload),
+            ACK_WIRE_BYTES,
+            apply_remote,
+            "write",
+            timeout_us,
+            done,
         )
 
     def cas(self, region_name: str, offset: int, expected: int, new: int) -> Event:

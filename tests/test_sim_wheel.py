@@ -1,0 +1,276 @@
+"""Property suite for the hierarchical timer wheel.
+
+The fast engine's wheel (three 256-slot levels + overflow heap) must be
+observationally identical to a plain ``(time, seq)`` min-heap: same
+firing order, same virtual times, regardless of which level a delay
+lands in, whether slots cascade down from higher levels, or how many
+entries were lazily cancelled in place.  These properties drive
+generated schedules through the wheel and check the order against the
+reference engine (for cancel-free schedules — its heap is the verbatim
+pre-wheel implementation) or against an explicit ``(time, seq)`` model
+(for schedules with cancellation, which the reference engine cannot
+express).  Deterministic tests then pin the sharp edges: slot/page/
+horizon boundaries, cancel-then-refire, far-future cascades,
+``run(until=...)`` skip-ahead, insort into the loaded batch, and the
+sparse-slot absorption window.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import engine, reference
+
+# Exact level boundaries: slot width 1us (L0), 256us (L1), 65536us (L2),
+# horizon 2**24us (overflow heap beyond).
+BOUNDARIES = [
+    1.0, 2.0, 255.0, 256.0, 257.0,
+    65_535.0, 65_536.0, 65_537.0,
+    16_777_215.0, 16_777_216.0, 16_777_217.0,
+]
+
+delays = st.one_of(
+    st.floats(min_value=0.0, max_value=600.0, allow_nan=False),
+    st.sampled_from(BOUNDARIES),
+    st.floats(min_value=0.0, max_value=2.0**25, allow_nan=False),
+)
+
+
+def _trace_of(mod, workload):
+    sim = mod.Simulator()
+    trace = []
+
+    def mark(tag):
+        trace.append((sim.now, tag))
+
+    workload(sim, mark)
+    sim.run()
+    return trace
+
+
+def assert_engines_agree(workload):
+    fast = _trace_of(engine, workload)
+    ref = _trace_of(reference, workload)
+    assert fast == ref
+    assert fast
+
+
+# -- generated schedules vs the reference heap -------------------------------
+
+
+class TestAgainstReferenceEngine:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(delays, min_size=1, max_size=150))
+    def test_flat_schedule_order(self, ds):
+        """Any mix of delays across all wheel levels and the overflow
+        heap fires in exactly the reference heap's (time, seq) order."""
+
+        def workload(sim, mark):
+            for i, d in enumerate(ds):
+                sim.schedule(d, mark, i)
+
+        assert_engines_agree(workload)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(delays, st.lists(delays, max_size=3)),
+                    min_size=1, max_size=40))
+    def test_nested_schedule_order(self, spec):
+        """Scheduling from inside callbacks — including delays that land
+        back in the currently-loaded batch slot or an absorbed slot —
+        must still match the reference heap."""
+
+        def workload(sim, mark):
+            def fire(i, children):
+                mark(i)
+                for j, d in enumerate(children):
+                    sim.schedule(d, mark, (i, j))
+
+            for i, (d, children) in enumerate(spec):
+                sim.schedule(d, fire, i, children)
+
+        assert_engines_agree(workload)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(delays, min_size=1, max_size=80),
+           st.sampled_from(BOUNDARIES))
+    def test_run_until_skip_ahead_boundaries(self, ds, until):
+        """``run(until=...)`` at exact slot/page/horizon boundaries must
+        fire the same prefix and land the clock at the same instant on
+        both engines, and the remainder must fire identically after."""
+
+        def run_split(mod):
+            sim = mod.Simulator()
+            trace = []
+
+            def mark(tag):
+                trace.append((sim.now, tag))
+
+            for i, d in enumerate(ds):
+                sim.schedule(d, mark, i)
+            sim.run(until=until)
+            trace.append(("clock", sim.now))
+            sim.run()
+            return trace
+
+        assert run_split(engine) == run_split(reference)
+
+
+# -- generated schedules with cancellation vs a (time, seq) model ------------
+
+
+class TestCancellationAgainstModel:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(delays, st.booleans()), min_size=1, max_size=150))
+    def test_cancelled_entries_never_fire_order_preserved(self, items):
+        """Lazy in-place cancellation (and any compaction it triggers)
+        must not disturb the (time, seq) order of the survivors."""
+        sim = engine.Simulator()
+        fired = []
+        handles = []
+        for i, (d, _cancel) in enumerate(items):
+            handles.append(sim.schedule(d, fired.append, i))
+        for (_, cancel), handle in zip(items, handles):
+            if cancel:
+                assert sim.cancel(handle)
+        sim.run()
+        expected = sorted(
+            (i for i, (_, cancel) in enumerate(items) if not cancel),
+            key=lambda i: (items[i][0], i),
+        )
+        assert fired == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(delays, st.none() | delays),
+                    min_size=1, max_size=100))
+    def test_cancel_then_refire(self, items):
+        """A cancelled timer replaced by a refire — possibly in the same
+        slot, possibly past the 2^24us horizon — fires exactly once, at
+        the refire's (time, seq) position."""
+        sim = engine.Simulator()
+        fired = []
+        seq = 0
+        model = []  # (time, seq, tag) of live entries
+        for i, (d, refire) in enumerate(items):
+            handle = sim.schedule(d, fired.append, i)
+            seq += 1
+            if refire is None:
+                model.append((d, seq, i))
+            else:
+                assert sim.cancel(handle)
+                sim.schedule(refire, fired.append, (i, "refire"))
+                seq += 1
+                model.append((refire, seq, (i, "refire")))
+        sim.run()
+        assert fired == [tag for _, _, tag in sorted(model, key=lambda m: m[:2])]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(delays, min_size=2, max_size=80), st.data())
+    def test_cancel_during_run(self, ds, data):
+        """Cancelling pending timers from inside a running callback
+        (after the wheel has loaded batches and cascaded) still skips
+        exactly the cancelled set."""
+        sim = engine.Simulator()
+        fired = []
+        handles = []
+        victims = data.draw(st.sets(
+            st.integers(min_value=0, max_value=len(ds) - 1), max_size=5))
+
+        def first():
+            for v in victims:
+                sim.cancel(handles[v])
+
+        sim.schedule(0.0, first)
+        for i, d in enumerate(ds):
+            handles.append(sim.schedule(d + 1.0, fired.append, i))
+        sim.run()
+        expected = sorted(
+            (i for i in range(len(ds)) if i not in victims),
+            key=lambda i: (ds[i] + 1.0, i),
+        )
+        assert fired == expected
+
+
+# -- pinned edge cases -------------------------------------------------------
+
+
+class TestWheelEdges:
+    def test_far_future_cascade_through_every_level(self):
+        """Entries past the 2^24us horizon start in the overflow heap
+        and must cascade L2 -> L1 -> L0 as pages advance, firing at
+        exact times in order."""
+
+        def workload(sim, mark):
+            for k, d in enumerate([
+                2.0**24 + 5.0,            # just past the horizon
+                2.0**24 * 3 + 0.25,       # several horizons out
+                2.0**25, 2.0**24,         # exact horizon multiples
+                123_456_789.5,
+            ]):
+                sim.schedule(d, mark, k)
+
+        assert_engines_agree(workload)
+
+    def test_exact_boundary_times_fire_in_seq_order(self):
+        """Equal times at slot/page boundaries resolve by seq."""
+
+        def workload(sim, mark):
+            for rep in range(3):
+                for b in BOUNDARIES:
+                    sim.schedule(b, mark, (b, rep))
+
+        assert_engines_agree(workload)
+
+    def test_insort_into_loaded_batch(self):
+        """A callback scheduling into its own batch's slot (or into the
+        sparse-absorption window behind the loaded batch) must dispatch
+        it this batch, in time order — not defer it a full lap."""
+
+        def workload(sim, mark):
+            def fire():
+                mark("head")
+                # Same integer slot as the running batch (t=5.x), and
+                # slots 6..8, which absorption may already have drained
+                # into the loaded batch.
+                sim.schedule(0.5, mark, "same-slot")
+                sim.schedule(1.5, mark, "next-slot")
+                sim.schedule(3.25, mark, "absorbed-slot")
+
+            sim.schedule(5.0, fire)
+            for i in range(12):
+                sim.schedule(5.0 + i * 0.75, mark, ("bg", i))
+
+        assert_engines_agree(workload)
+
+    def test_sparse_absorption_window_keeps_order(self):
+        """One entry per L0 slot over far more than the 16-slot
+        absorption window — merged batches must still fire in time
+        order, including entries cancelled mid-window."""
+        sim = engine.Simulator()
+        fired = []
+        handles = [sim.schedule(1.0 + i, fired.append, i) for i in range(60)]
+        for i in range(0, 60, 7):
+            sim.cancel(handles[i])
+        sim.run()
+        assert fired == [i for i in range(60) if i % 7]
+
+    def test_next_event_time_sees_all_levels(self):
+        """Skip-ahead must find the earliest entry wherever it lives:
+        batch, L0/L1/L2 wheel, or overflow heap."""
+        for d in [0.5, 3.0, 300.0, 70_000.0, 2.0**24 + 1.0]:
+            sim = engine.Simulator()
+            fired = []
+            sim.schedule(d, fired.append, "x")
+            sim.run()
+            assert fired == ["x"]
+            assert sim.now == pytest.approx(d)
+
+    def test_cancel_accepts_reference_handle(self):
+        """Engine-agnostic callers cancel whatever schedule() returned;
+        the reference engine returns None and cancel must say no."""
+        ref = reference.Simulator()
+        assert ref.cancel(ref.schedule(5.0, lambda: None)) is False
+        fast = engine.Simulator()
+        assert fast.cancel(None) is False
+        handle = fast.schedule(5.0, lambda: None)
+        assert fast.cancel(handle) is True
+        assert fast.cancel(handle) is False  # already dead
