@@ -9,9 +9,10 @@ Every figure command also writes a versioned ``BENCH_<figure>.json``
 artifact (see :mod:`repro.obs.artifact`) into ``--out-dir``: the
 simulated numbers, a metrics-registry snapshot collected during the
 run, the seeds, the parameters, the git SHA and the wall clock.  CI's
-``bench-smoke`` job regenerates fig5/fig6/fig11 at ``--smoke`` scale
-and diffs them against ``benchmarks/baselines/`` with
-:mod:`repro.obs.compare`.
+``bench-smoke`` job regenerates every figure in ``BASELINE_FIGURES``
+at ``--smoke`` scale and diffs them against ``benchmarks/baselines/``
+with :mod:`repro.obs.compare` (plus a byte-diff of the exported
+``TRACE_fig6path.json`` Perfetto trace).
 
 Examples::
 
@@ -43,9 +44,14 @@ from repro.bench.parallel import run_points
 from repro.bench.points import (
     FIG5_SYSTEMS,
     FIG6_SYSTEMS,
+    FIG5ABLATE_GRID,
+    TRACE_EXPORT_CELL,
+    TRACE_SPAN_CAP,
     build_spec,
     fig5_points,
+    fig5ablate_points,
     fig6_points,
+    fig6path_points,
     fig8live_params,
     fig8live_points,
     fig11_points,
@@ -59,13 +65,15 @@ from repro.cluster import relative_costs
 from repro.cluster.backups import sweep_backup_pool
 from repro.cluster.provision import TARGET_THROUGHPUT, machine_table
 from repro.obs.artifact import write_artifact
+from repro.obs.critpath import STAGES
+from repro.obs.export import write_chrome_trace
 from repro.obs.registry import MetricsRegistry, collecting
 from repro.workloads import WORKLOADS
 
 __all__ = ["main"]
 
 #: Figures the ``bench-smoke`` CI job pins against committed baselines.
-BASELINE_FIGURES = ("fig5", "fig6", "fig11", "fig11sweep")
+BASELINE_FIGURES = ("fig5", "fig5ablate", "fig6", "fig6path", "fig11", "fig11sweep")
 
 
 def _progress(key: str) -> None:
@@ -163,6 +171,108 @@ def cmd_fig6(args, scale):
     return {
         "simulated": simulated,
         "params": {"cores": 12, "high_load_clients": high_load_clients},
+    }
+
+
+def cmd_fig6path(args, scale):
+    """Fig. 6, traced: per-stage critical-path latency attribution.
+
+    Re-runs every fig6 cell with a tracer over the measurement window
+    and walks each committed operation's span tree into exclusive
+    per-stage segments (:mod:`repro.obs.critpath`).  The sift/low
+    cell's raw spans are also written as a Perfetto/Chrome trace
+    (``TRACE_fig6path.json``) next to the artifact.
+    """
+    high_load_clients = 8 if args.smoke else 28
+    results = run_points(
+        fig6path_points(scale, args.seed, high_load_clients), jobs=args.jobs,
+        progress=_progress,
+    )
+    simulated = {}
+    trace_spans = None
+    rows = []
+    for name in FIG6_SYSTEMS:
+        per_load = {}
+        for load in ("low", "high"):
+            cell = dict(results[f"{name}/{load}"])
+            spans = cell.pop("spans", None)
+            if spans is not None:
+                trace_spans = spans
+            per_load[load] = cell
+            for op, digest in cell["critical_path"].items():
+                agg = digest["aggregate"]
+                shares = "  ".join(
+                    f"{stage} {agg['stages'][stage]['share'] * 100.0:4.1f}%"
+                    for stage in STAGES
+                    if stage in agg["stages"]
+                )
+                rows.append(
+                    (
+                        f"{name}/{load} {op}",
+                        f"mean {agg['duration_us']['mean']:8.1f}us "
+                        f"({agg['count']} ops)  {shares}",
+                    )
+                )
+        simulated[name] = per_load
+    print(kv_table("Figure 6 (path): critical-path latency attribution", rows))
+    if trace_spans and not args.no_artifact:
+        os.makedirs(args.out_dir, exist_ok=True)
+        path = write_chrome_trace(
+            os.path.join(args.out_dir, "TRACE_fig6path.json"),
+            trace_spans,
+            process_name=f"repro {TRACE_EXPORT_CELL}",
+        )
+        print(f"  wrote {path} ({len(trace_spans)} spans)", file=sys.stderr)
+    return {
+        "simulated": simulated,
+        "params": {
+            "cores": 12,
+            "high_load_clients": high_load_clients,
+            "trace_cell": TRACE_EXPORT_CELL,
+            "trace_span_cap": TRACE_SPAN_CAP,
+        },
+    }
+
+
+def cmd_fig5ablate(args, scale):
+    """The batching ablation: WAL coalescing x doorbell batching.
+
+    Promotes perfbench's ``coalesced_fig5`` scenario to a committed
+    2x2 grid artifact — the full stack must beat each single layer,
+    which must beat the plain stack, on write-only throughput.
+    """
+    results = run_points(fig5ablate_points(scale, args.seed), jobs=args.jobs,
+                         progress=_progress)
+    simulated = {}
+    rows = []
+    plain = results["sift/plain"]["ops_per_sec"]
+    for key, _coalesce, _doorbell in FIG5ABLATE_GRID:
+        cell = results[f"sift/{key}"]
+        simulated[key] = cell
+        speedup = cell["ops_per_sec"] / plain if plain else 0.0
+        rows.append(
+            (
+                f"sift/{key}",
+                f"{cell['ops_per_sec']:12,.0f} ops/s  ({speedup:.3f}x plain)",
+            )
+        )
+    print(kv_table("Figure 5 (ablation): append coalescing x doorbell batching", rows))
+    full = simulated["coalesce+doorbell"]["ops_per_sec"]
+    if not full > plain:
+        print(
+            "WARNING: the full batching stack is not faster than the "
+            f"plain stack ({full:,.0f} <= {plain:,.0f} ops/s)",
+            file=sys.stderr,
+        )
+        args._failed = True
+    return {
+        "simulated": simulated,
+        "params": {
+            "cores": 12,
+            "workload": "write-only",
+            "clients": 24,
+            "grid": [list(entry) for entry in FIG5ABLATE_GRID],
+        },
     }
 
 
@@ -357,7 +467,9 @@ COMMANDS = {
     "table1": cmd_table1,
     "table2": cmd_table2,
     "fig5": cmd_fig5,
+    "fig5ablate": cmd_fig5ablate,
     "fig6": cmd_fig6,
+    "fig6path": cmd_fig6path,
     "fig8": cmd_fig8,
     "fig8live": cmd_fig8live,
     "fig9": cmd_fig9,
@@ -433,7 +545,7 @@ def main(argv=None) -> int:
                         help="print figures only, write nothing")
     parser.add_argument(
         "--refresh-baselines", action="store_true",
-        help="regenerate benchmarks/baselines/ (fig5/fig6/fig11, smoke scale)",
+        help="regenerate benchmarks/baselines/ (all gated figures, smoke scale)",
     )
     args = parser.parse_args(argv)
 

@@ -17,12 +17,34 @@ worker process.
 
 from __future__ import annotations
 
+import gc
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+from repro.obs import state as obs_state
 from repro.obs.registry import MetricsRegistry, collecting, current_registry
 
 __all__ = ["Point", "run_points"]
+
+
+def _quiet_collect() -> None:
+    """Drain cyclic garbage with instrumentation muted.
+
+    Finalising a dead simulator's process graph executes old engine
+    teardown code, which would charge ``cpu.core_us`` counters and
+    ``proc.crash`` spans into whatever registry/tracer happens to be
+    installed.  Those charges belong to no experiment, so the drain
+    runs with observability off.
+    """
+    previous_registry = obs_state.REGISTRY
+    previous_tracer = obs_state.TRACER
+    obs_state.REGISTRY = None
+    obs_state.TRACER = None
+    try:
+        gc.collect()
+    finally:
+        obs_state.REGISTRY = previous_registry
+        obs_state.TRACER = previous_tracer
 
 
 class Point(NamedTuple):
@@ -38,11 +60,31 @@ class Point(NamedTuple):
 
 
 def _execute_point(point: Point) -> Tuple[Any, Dict[str, Any]]:
-    """Run one point under a private registry; return (value, dump)."""
-    registry = MetricsRegistry()
-    with collecting(registry):
-        value = point.fn(**point.kwargs)
-    return value, registry.dump()
+    """Run one point under a private registry; return (value, dump).
+
+    Automatic GC is paused for the point's duration: collecting a
+    *previous* point's dead process graph mid-run executes old engine
+    teardown code, which charges instrumented costs (``cpu.core_us``,
+    ``proc.crash`` spans) into the *current* point's registry/tracer at
+    GC-timing-dependent moments — making results depend on how many
+    points this process ran before.  Garbage is drained (muted) at both
+    point boundaries instead, so every point's dump is a function of
+    its own arguments only and serial and ``--jobs N`` runs merge to
+    identical bytes.
+    """
+    _quiet_collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        registry = MetricsRegistry()
+        with collecting(registry):
+            value = point.fn(**point.kwargs)
+        dump = registry.dump()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    _quiet_collect()
+    return value, dump
 
 
 def run_points(

@@ -20,6 +20,8 @@ from repro.bench.parallel import Point
 from repro.bench.runner import run_latency, run_throughput, run_timeline
 from repro.bench.systems import sift_spec
 from repro.chaos import FaultSchedule
+from repro.obs.critpath import critical_path_section
+from repro.obs.trace import Tracer
 from repro.sim.units import MS, SEC
 from repro.workloads import WORKLOADS
 
@@ -27,8 +29,15 @@ __all__ = [
     "build_spec",
     "FIG5_SYSTEMS",
     "FIG6_SYSTEMS",
+    "FIG5ABLATE_GRID",
+    "TRACE_EXPORT_CELL",
+    "TRACE_SPAN_CAP",
+    "ablate_point",
+    "critpath_point",
     "fig5_points",
+    "fig5ablate_points",
     "fig6_points",
+    "fig6path_points",
     "fig8live_params",
     "fig8live_points",
     "fig11_points",
@@ -89,6 +98,142 @@ def latency_point(
         "write_p95": r.write_p95,
         "ops_per_sec": r.ops_per_sec,
     }
+
+
+#: The one fig6path cell whose raw spans ride along for the committed
+#: Perfetto export (the paper's own system at its low-load point).
+TRACE_EXPORT_CELL = "sift/low"
+
+#: Spans kept for the export, in recording order.  A traced smoke
+#: window records tens of thousands of spans; the first N already cover
+#: many complete operations and keep the committed trace reviewable.
+TRACE_SPAN_CAP = 2000
+
+
+def critpath_point(
+    system: str,
+    workload: str,
+    clients: int,
+    cores: int,
+    scale: BenchScale,
+    seed: int,
+    sample_ops: int = 8,
+    export_spans: int = 0,
+) -> dict:
+    """One fig6path cell: the fig6 latency run, traced, with its
+    critical-path attribution digest.
+
+    The tracer only covers the measurement window (see
+    :func:`repro.bench.runner._drive`), draws no randomness and never
+    schedules, so ``ops_per_sec`` matches the untraced fig6 cell and
+    the digest is deterministic in *seed*.  With ``export_spans > 0``
+    the first that-many raw span dicts ride along for the Perfetto
+    export.
+    """
+    spec = build_spec(system, scale, cores=cores)
+    tracer = Tracer()
+    r = run_latency(
+        spec, WORKLOADS[workload], clients, scale=scale, seed=seed, tracer=tracer
+    )
+    out = {
+        "clients": clients,
+        "ops_per_sec": r.ops_per_sec,
+        "spans_recorded": len(tracer.spans),
+        "critical_path": critical_path_section(tracer, sample_ops=sample_ops),
+    }
+    if export_spans:
+        out["spans"] = [s.to_dict() for s in tracer.spans[:export_spans]]
+    return out
+
+
+def fig6path_points(
+    scale: BenchScale, seed: int, high_load_clients: int
+) -> List[Point]:
+    """The fig6 grid, traced: system-major, low load then high load."""
+    points = []
+    for system in FIG6_SYSTEMS:
+        for load, clients in (("low", 1), ("high", high_load_clients)):
+            key = f"{system}/{load}"
+            points.append(
+                Point(
+                    key=key,
+                    fn=critpath_point,
+                    kwargs={
+                        "system": system,
+                        "workload": "mixed",
+                        "clients": clients,
+                        "cores": 12,
+                        "scale": scale,
+                        "seed": seed,
+                        "export_spans": (
+                            TRACE_SPAN_CAP if key == TRACE_EXPORT_CELL else 0
+                        ),
+                    },
+                )
+            )
+    return points
+
+
+#: The fig5ablate grid, in declared (= merge) order: both batching
+#: layers off, each alone, then the full stack.
+FIG5ABLATE_GRID = (
+    ("plain", False, False),
+    ("doorbell", False, True),
+    ("coalesce", True, False),
+    ("coalesce+doorbell", True, True),
+)
+
+
+def ablate_point(
+    coalesce: bool,
+    doorbell: bool,
+    workload: str,
+    clients: int,
+    scale: BenchScale,
+    seed: int,
+) -> dict:
+    """One fig5ablate cell: write-only sift throughput with the WAL
+    append-coalescing and doorbell-batching layers toggled
+    independently (perfbench's ``coalesced_fig5`` scenario, promoted to
+    a committed 2x2 grid)."""
+    spec = sift_spec(
+        cores=12,
+        scale=scale,
+        kv_overrides={"coalesce_appends": True} if coalesce else None,
+        sift_overrides={"doorbell_batching": True} if doorbell else None,
+    )
+    result = run_throughput(
+        spec, WORKLOADS[workload], n_clients=clients, scale=scale, seed=seed
+    )
+    return {
+        "coalesce_appends": coalesce,
+        "doorbell_batching": doorbell,
+        "ops_per_sec": result.ops_per_sec,
+        "completed": result.completed,
+        "errors": result.errors,
+    }
+
+
+def fig5ablate_points(scale: BenchScale, seed: int) -> List[Point]:
+    """The 2x2 batching-ablation grid (write-only, 24 clients, as in
+    perfbench's coalesced_fig5)."""
+    points = []
+    for key, coalesce, doorbell in FIG5ABLATE_GRID:
+        points.append(
+            Point(
+                key=f"sift/{key}",
+                fn=ablate_point,
+                kwargs={
+                    "coalesce": coalesce,
+                    "doorbell": doorbell,
+                    "workload": "write-only",
+                    "clients": 24,
+                    "scale": scale,
+                    "seed": seed,
+                },
+            )
+        )
+    return points
 
 
 def fig11_timings(smoke: bool):

@@ -15,6 +15,7 @@ two invocations with identical parameters produce identical numbers.
 
 from __future__ import annotations
 
+import gc
 from typing import Callable, List, NamedTuple, Optional, Tuple
 
 from repro.bench.calibration import DEFAULT_SCALE, BenchScale
@@ -23,6 +24,7 @@ from repro.bench.systems import SystemSpec
 from repro.net.fabric import Fabric
 from repro.obs import state as obs_state
 from repro.obs.publish import publish_run
+from repro.obs.trace import Tracer, set_tracer
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.units import SEC
@@ -96,8 +98,18 @@ def _drive(
     scale: BenchScale,
     seed: int,
     sampler: Optional[KeySampler] = None,
+    tracer: Optional[Tracer] = None,
 ):
-    """Common build -> preload -> warmup -> measure flow; returns metrics."""
+    """Common build -> preload -> warmup -> measure flow; returns metrics.
+
+    With *tracer* the measurement window runs traced: the tracer is
+    installed after warmup and removed after the window, so preload and
+    warmup spans never pollute it.  Tracing draws no randomness and
+    never schedules, so the measured numbers are byte-identical with or
+    without it (pinned by ``tests/test_obs_determinism.py``).  Ops in
+    flight at install time show up as parentless milestone instants;
+    :mod:`repro.obs.critpath` skips those incomplete roots.
+    """
     sim, fabric, cluster = _setup(spec, scale, seed)
     # Derive the reservoir-sampling RNG from the experiment seed: every
     # source of randomness in a run traces back to the one seed argument.
@@ -116,9 +128,31 @@ def _drive(
     spec.preload(cluster, _items(scale))
     pool.start()
     sim.run(until=sim.now + scale.warmup_us)
-    metrics.begin(sim.now)
-    sim.run(until=sim.now + scale.measure_us)
-    metrics.end(sim.now)
+    previous = None
+    gc_was_enabled = False
+    if tracer is not None:
+        # Collector-driven teardown of an *earlier* run's dead process
+        # graph (a previous figure point in this worker) can execute old
+        # engine code mid-window — e.g. a closed generator's cleanup
+        # resumes another dead process, which crashes and records a
+        # ``proc.crash`` instant into the freshly installed tracer.
+        # That injects spans at GC-timing-dependent positions, making
+        # the span stream depend on worker history.  Drain the garbage
+        # now and keep automatic collection off for the window so the
+        # trace depends on the simulated schedule only.
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        previous = set_tracer(tracer)
+    try:
+        metrics.begin(sim.now)
+        sim.run(until=sim.now + scale.measure_us)
+        metrics.end(sim.now)
+    finally:
+        if tracer is not None:
+            set_tracer(previous)
+            if gc_was_enabled:
+                gc.enable()
     pool.stop()
     if obs_state.REGISTRY is not None:
         metrics.publish(obs_state.REGISTRY)
@@ -151,9 +185,14 @@ def run_latency(
     n_clients: int,
     scale: BenchScale = DEFAULT_SCALE,
     seed: int = 1,
+    tracer: Optional[Tracer] = None,
 ) -> LatencyResult:
-    """Latency percentiles at a fixed load level."""
-    metrics = _drive(spec, mix, n_clients, scale, seed)
+    """Latency percentiles at a fixed load level.
+
+    Pass *tracer* to trace the measurement window (see :func:`_drive`);
+    the caller then walks the tracer with :mod:`repro.obs.critpath`.
+    """
+    metrics = _drive(spec, mix, n_clients, scale, seed, tracer=tracer)
 
     def maybe(op: str, p: float) -> Optional[float]:
         if metrics.latencies.get(op):

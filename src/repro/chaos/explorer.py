@@ -12,6 +12,7 @@ one is noise).
 from __future__ import annotations
 
 import random
+import sys
 from typing import Callable, List, NamedTuple, Optional
 
 from repro.chaos.runner import ChaosError, ChaosRunner
@@ -190,7 +191,9 @@ class ScheduleExplorer:
         for seed in seeds:
             failure = self.run_seed(seed)
             if failure is not None:
-                print(f"CHAOS-EXPLORER-FAILURE seed={failure.seed}")
-                print(failure.replay_hint())
+                print(
+                    f"CHAOS-EXPLORER-FAILURE seed={failure.seed}", file=sys.stderr
+                )
+                print(failure.replay_hint(), file=sys.stderr)
                 return failure
         return None

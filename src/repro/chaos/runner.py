@@ -36,7 +36,9 @@ from repro.compat import resolve_us_kwargs
 from repro.kv.client import KvClient, KvRequestFailed
 from repro.net.fabric import Fabric
 from repro.obs import state as obs_state
+from repro.obs.flight import FlightRecorder, maybe_postmortem
 from repro.obs.publish import publish_run
+from repro.obs.trace import set_tracer
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.units import MS, SEC
@@ -218,6 +220,15 @@ class ChaosRunner:
     # -- internals ---------------------------------------------------------------
 
     def _fail(self, message: str, trace) -> None:
+        path = maybe_postmortem(
+            f"chaos {message}",
+            extra={
+                "seed": self.seed,
+                "trace": [[t, label] for t, label in trace],
+            },
+        )
+        if path is not None:
+            message = f"{message}\n  postmortem: {path}"
         raise ChaosError(message, self.seed, tuple(trace))
 
     def _await(self, gen, deadline_us: float, what: str, trace) -> None:
@@ -238,6 +249,22 @@ class ChaosRunner:
     # -- the run -----------------------------------------------------------------
 
     def run(self) -> ChaosResult:
+        """Run the schedule with a flight recorder installed.
+
+        Unless the caller already traces, a bounded :class:`FlightRecorder`
+        rides along for the whole run (zero schedule perturbation, O(ring)
+        memory) so any invariant failure can dump its final moments via
+        :func:`repro.obs.flight.maybe_postmortem`.
+        """
+        owns_recorder = obs_state.TRACER is None
+        previous = set_tracer(FlightRecorder()) if owns_recorder else None
+        try:
+            return self._run()
+        finally:
+            if owns_recorder:
+                set_tracer(previous)
+
+    def _run(self) -> ChaosResult:
         self.sim = Simulator()
         self.fabric = Fabric(self.sim, rng=RngStreams(seed=self.seed))
         self.cluster = self.build(self.fabric)

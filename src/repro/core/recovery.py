@@ -597,24 +597,47 @@ class MemoryNodeRecoveryManager:
         data_bytes = self.repmem.config.data_bytes
         for progress in progresses:
             if progress.bytes_done != progress.end - progress.start:
-                raise RecoveryIntegrityError(
+                raise self._integrity_failure(
+                    n,
                     f"node {n} partition {progress.index}: copied "
-                    f"{progress.bytes_done}B of [{progress.start}, {progress.end})"
+                    f"{progress.bytes_done}B of [{progress.start}, {progress.end})",
                 )
         fragments = sorted(f for p in progresses for f in p.done)
         cursor = 0
         for addr, length in fragments:
             if addr != cursor:
                 kind = "overlap" if addr < cursor else "gap"
-                raise RecoveryIntegrityError(
+                raise self._integrity_failure(
+                    n,
                     f"node {n}: {kind} at byte {min(addr, cursor)} "
-                    "in the copied ranges"
+                    "in the copied ranges",
                 )
             cursor = addr + length
         if cursor != data_bytes:
-            raise RecoveryIntegrityError(
-                f"node {n}: copy covers [0, {cursor}) of [0, {data_bytes})"
+            raise self._integrity_failure(
+                n, f"node {n}: copy covers [0, {cursor}) of [0, {data_bytes})"
             )
+
+    def _integrity_failure(self, n: int, message: str) -> RecoveryIntegrityError:
+        """Build the integrity error, dumping a postmortem when traced.
+
+        On traced runs (chaos keeps a flight recorder installed) the
+        recent-span ring plus registry snapshot land in a postmortem
+        file the error message points at; untraced runs lose nothing.
+        """
+        from repro.obs.flight import maybe_postmortem
+
+        sim = getattr(self.repmem, "sim", None)
+        path = maybe_postmortem(
+            f"recovery integrity {message}",
+            extra={
+                "node": n,
+                "sim_now_us": sim.now if sim is not None else None,
+            },
+        )
+        if path is not None:
+            message = f"{message} [postmortem: {path}]"
+        return RecoveryIntegrityError(message)
 
     def _note_fragment(
         self, n: int, progress: "PartitionProgress", addr: int, length: int

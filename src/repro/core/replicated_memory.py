@@ -295,6 +295,12 @@ class ReplicatedMemory:
             )
         yield self.host.execute(self.costs.rdma_post_us)
         offset = self.amap.raw_extent(addr)
+        if obs_state.TRACER is not None:
+            # Milestone: replication fan-out begins (closes "wal_write"
+            # in critical-path analysis).
+            obs_state.TRACER.instant(
+                "repmem.fanout", self.sim.now, addr=addr, bytes=len(data)
+            )
         acks = []
         for n, event in self._fan_out_write(offset, data):
             event.add_callback(lambda ev, n=n: self._note_verb(n, ev))
@@ -303,6 +309,11 @@ class ReplicatedMemory:
         if len(acks) < self.config.quorum:
             raise GroupUnavailable("not enough live memory nodes for quorum")
         yield quorum(self.sim, acks, self.config.quorum)
+        if obs_state.TRACER is not None:
+            # Milestone: a quorum of replicas acked (closes "quorum").
+            obs_state.TRACER.instant(
+                "repmem.quorum", self.sim.now, acks=self.config.quorum
+            )
 
     def direct_read(self, addr: int, length: int):
         """Process: unlogged raw read from one live node."""

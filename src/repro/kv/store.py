@@ -52,6 +52,7 @@ from repro.kv.layout import (
     WalRecord,
 )
 from repro.net.rpc import Reply, RpcEndpoint
+from repro.obs import state as obs_state
 from repro.sim.engine import Event
 
 __all__ = ["KvServer", "KvError", "kv_app_factory", "merge_wal_records"]
@@ -422,6 +423,12 @@ class KvServer:
             yield waiter
         image = self.layout.encode_wal_record(record)
         if self.config.coalesce_appends:
+            if obs_state.TRACER is not None:
+                # The fan-out milestones land in the flusher's trace; mark
+                # where this record joined the coalescing queue instead.
+                obs_state.TRACER.instant(
+                    "kv.append_queued", self.sim.now, seq=record.seq
+                )
             done = Event(self.sim)
             self._pending_appends.append((record, image, done))
             if not self._append_flusher_busy:

@@ -42,6 +42,10 @@ class _Request(NamedTuple):
     payload: Any
     respond: Callable[[Any, int], None]
     fail: Callable[[BaseException], None]
+    #: Client-side span for the call, threaded across the wire so the
+    #: server-side handler (and everything it spawns) parents under the
+    #: same operation tree.  None when tracing is off.
+    trace: Optional[Any] = None
 
 
 class RpcEndpoint:
@@ -77,7 +81,30 @@ class RpcEndpoint:
         handler = self._handlers.get(request.method)
         if handler is None:
             return  # unknown method: silently dropped, client times out
-        self.host.spawn(self._serve(handler, request), name=f"rpc.{request.method}")
+        tracer = obs_state.TRACER
+        if (
+            tracer is not None
+            and request.trace is not None
+            and request.trace.tracer is tracer
+        ):
+            # Re-establish the caller's span context so the handler
+            # process (and everything it spawns) joins the same tree.
+            prev = tracer.current
+            tracer.current = request.trace
+            try:
+                tracer.instant(
+                    "rpc.recv",
+                    self.host.sim.now,
+                    node=self.host.name,
+                    method=request.method,
+                )
+                self.host.spawn(
+                    self._serve(handler, request), name=f"rpc.{request.method}"
+                )
+            finally:
+                tracer.current = prev
+        else:
+            self.host.spawn(self._serve(handler, request), name=f"rpc.{request.method}")
 
     def _serve(self, handler: Callable[[Any], Any], request: _Request):
         try:
@@ -90,6 +117,20 @@ class RpcEndpoint:
         except Exception as exc:  # modelled failure inside the handler
             request.fail(exc)
             return
+        tracer = obs_state.TRACER
+        if (
+            tracer is not None
+            and request.trace is not None
+            and request.trace.tracer is tracer
+        ):
+            # Milestone: the handler is done and the reply leaves the
+            # server; closes the "apply" stage in critical-path analysis.
+            tracer.instant(
+                "rpc.reply",
+                self.host.sim.now,
+                node=self.host.name,
+                method=request.method,
+            )
         if isinstance(result, Reply):
             request.respond(result.value, result.size_bytes)
         else:
@@ -141,8 +182,9 @@ class RpcClient:
             obs_state.REGISTRY.counter("rpc.bytes", dir="tx").inc(
                 self.request_overhead_bytes + payload_bytes
             )
+        trace = None
         if obs_state.TRACER is not None:
-            span = obs_state.TRACER.span(
+            trace = obs_state.TRACER.span(
                 f"rpc.{method}",
                 sim.now,
                 src=self.host.name,
@@ -150,7 +192,7 @@ class RpcClient:
                 bytes=self.request_overhead_bytes + payload_bytes,
             )
 
-            def _finish(event: Event, _span=span) -> None:
+            def _finish(event: Event, _span=trace) -> None:
                 _span.annotate(ok=event.ok)
                 _span.finish(sim.now)
 
@@ -176,7 +218,7 @@ class RpcClient:
                 stream="rpc",
             )
 
-        request = _Request(method, payload, respond, fail)
+        request = _Request(method, payload, respond, fail, trace)
         sent = self.fabric.deliver(
             self.host,
             server,

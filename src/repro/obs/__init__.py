@@ -46,26 +46,37 @@ from repro.obs.artifact import (
     validate_artifact,
     write_artifact,
 )
+from repro.obs.flight import FlightRecorder, maybe_postmortem, write_postmortem
 from repro.obs.publish import publish_run
 from repro.obs.registry import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    SloHistogram,
     collecting,
     current_registry,
     set_registry,
 )
-from repro.obs.trace import Span, Tracer, current_tracer, set_tracer, tracing
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    span_sort_key,
+    tracing,
+)
 
 __all__ = [
     "ARTIFACT_KIND",
     "ARTIFACT_SCHEMA_VERSION",
     "ArtifactError",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SloHistogram",
     "Span",
     "Tracer",
     "artifact_filename",
@@ -76,14 +87,17 @@ __all__ = [
     "enabled",
     "load_artifact",
     "make_artifact",
+    "maybe_postmortem",
     "observe",
     "publish_run",
     "set_registry",
     "set_tracer",
+    "span_sort_key",
     "state",
     "tracing",
     "validate_artifact",
     "write_artifact",
+    "write_postmortem",
 ]
 
 enabled = state.enabled

@@ -1,0 +1,281 @@
+"""Perfetto / Chrome trace-event export for tracer sessions.
+
+Converts the span dicts recorded by :class:`repro.obs.Tracer` (or
+dumped by the flight recorder) into the Chrome trace-event JSON object
+format, loadable in `ui.perfetto.dev <https://ui.perfetto.dev>`_ or
+``chrome://tracing``:
+
+* finished spans become complete events (``ph: "X"``) with their
+  virtual-time start and duration in microseconds (the trace-event
+  native unit, so the timeline reads directly in simulated µs);
+* instants become thread-scoped instant events (``ph: "i"``);
+* spans still open at capture time become ``X`` events of zero
+  duration flagged with ``unfinished: true``;
+* each source entity (node, NIC, shard — whatever the instrumentation
+  put in a span's ``host``/``src``/``node``/``process`` attribute)
+  gets its own named track via ``thread_name`` metadata records.
+
+The output is canonical (sorted keys, stable ``(ts, span id)`` event
+order, NaN rejected), so the same tracer session always exports to
+byte-identical JSON — CI diffs exported traces like any other
+artifact.
+
+CLI::
+
+    python -m repro.obs.export SESSION.json -o TRACE.json
+
+where ``SESSION.json`` is a saved tracer session, a flight-recorder
+postmortem, or a bare JSON list of span dicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "SESSION_KIND",
+    "ExportError",
+    "session_doc",
+    "write_session",
+    "load_spans",
+    "chrome_trace",
+    "chrome_trace_bytes",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "main",
+]
+
+SESSION_KIND = "repro.obs.trace-session"
+_SESSION_SCHEMA_VERSION = 1
+
+#: Span attributes tried, in order, to pick the event's track.
+_TRACK_ATTRS = ("host", "src", "node", "process")
+
+
+class ExportError(ValueError):
+    """The input is not an exportable trace document."""
+
+
+# ---------------------------------------------------------------------------
+# Session files (tracer -> JSON and back)
+# ---------------------------------------------------------------------------
+
+
+def session_doc(tracer: Tracer, label: str = "") -> Dict[str, Any]:
+    """A JSON-friendly capture of every span in *tracer*."""
+    return {
+        "kind": SESSION_KIND,
+        "schema_version": _SESSION_SCHEMA_VERSION,
+        "label": label,
+        "spans": tracer.to_dicts(),
+    }
+
+
+def write_session(path: str, tracer: Tracer, label: str = "") -> str:
+    """Save *tracer* to *path* as a canonical session file."""
+    doc = session_doc(tracer, label=label)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True, allow_nan=False)
+        fh.write("\n")
+    return path
+
+
+def load_spans(path: str) -> List[Dict[str, Any]]:
+    """Span dicts from a session file, a postmortem, or a bare list."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ExportError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ExportError(f"{path} is not valid JSON: {exc}") from exc
+    if isinstance(doc, list):
+        spans = doc
+    elif isinstance(doc, dict) and isinstance(doc.get("spans"), list):
+        spans = doc["spans"]
+    else:
+        raise ExportError(f"{path} holds no span list (kind={type(doc).__name__})")
+    for span in spans:
+        if not isinstance(span, dict) or "span_id" not in span or "name" not in span:
+            raise ExportError(f"{path}: malformed span entry {span!r}")
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event conversion
+# ---------------------------------------------------------------------------
+
+
+def _track_of(span: Dict[str, Any]) -> str:
+    attrs = span.get("attrs") or {}
+    for key in _TRACK_ATTRS:
+        value = attrs.get(key)
+        if value:
+            return str(value)
+    return "trace"
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    return repr(value)
+
+
+def chrome_trace(
+    spans: Sequence[Dict[str, Any]], process_name: str = "repro-sim"
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event document for *spans*.
+
+    Deterministic: tracks are numbered in sorted name order and events
+    sorted by ``(ts, span_id)``, so equal inputs yield equal documents.
+    """
+    tracks = sorted({_track_of(span) for span in spans})
+    tids = {name: i + 1 for i, name in enumerate(tracks)}
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    for name in tracks:
+        events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tids[name],
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+    body: List[Dict[str, Any]] = []
+    for span in spans:
+        attrs = span.get("attrs") or {}
+        args = {k: _json_safe(v) for k, v in sorted(attrs.items())}
+        args["span_id"] = span["span_id"]
+        if span.get("parent_id") is not None:
+            args["parent_id"] = span["parent_id"]
+        start = float(span["start_us"])
+        end = span.get("end_us")
+        event: Dict[str, Any] = {
+            "pid": 1,
+            "tid": tids[_track_of(span)],
+            "ts": start,
+            "name": span["name"],
+            "args": args,
+        }
+        if end is not None and end > start:
+            event["ph"] = "X"
+            event["dur"] = float(end) - start
+        elif end is not None:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = 0.0
+            args["unfinished"] = True
+        body.append(event)
+    body.sort(key=lambda e: (e["ts"], e["args"]["span_id"]))
+    events.extend(body)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_bytes(
+    spans: Sequence[Dict[str, Any]], process_name: str = "repro-sim"
+) -> bytes:
+    """Canonical UTF-8 encoding of :func:`chrome_trace` (byte-stable)."""
+    doc = chrome_trace(spans, process_name=process_name)
+    text = json.dumps(doc, indent=2, sort_keys=True, allow_nan=False)
+    return (text + "\n").encode("utf-8")
+
+
+def write_chrome_trace(
+    path: str, spans: Sequence[Dict[str, Any]], process_name: str = "repro-sim"
+) -> str:
+    """Write the canonical Chrome trace for *spans* to *path*."""
+    payload = chrome_trace_bytes(spans, process_name=process_name)
+    with open(path, "wb") as fh:
+        fh.write(payload)
+    return path
+
+
+def validate_chrome_trace(doc: Any) -> None:
+    """Check trace-event schema invariants; raises :class:`ExportError`."""
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise ExportError("document must be an object with a traceEvents list")
+    for event in doc["traceEvents"]:
+        if not isinstance(event, dict):
+            raise ExportError(f"event is not an object: {event!r}")
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M"):
+            raise ExportError(f"unsupported event phase {ph!r}")
+        for key in ("pid", "tid", "name"):
+            if key not in event:
+                raise ExportError(f"event missing {key!r}: {event!r}")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            raise ExportError(f"event missing numeric ts: {event!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ExportError(f"X event needs non-negative dur: {event!r}")
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            raise ExportError(f"instant needs scope t/p/g: {event!r}")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="Convert a tracer session or postmortem to Perfetto/"
+        "Chrome trace-event JSON.",
+    )
+    parser.add_argument(
+        "session", help="trace session, postmortem, or bare span-list JSON"
+    )
+    parser.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="output path (default: stdout)",
+    )
+    parser.add_argument(
+        "--process-name",
+        default="repro-sim",
+        help="top-level process track name (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        spans = load_spans(args.session)
+        payload = chrome_trace_bytes(spans, process_name=args.process_name)
+        validate_chrome_trace(json.loads(payload.decode("utf-8")))
+    except ExportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out is None:
+        sys.stdout.write(payload.decode("utf-8"))
+    else:
+        with open(args.out, "wb") as fh:
+            fh.write(payload)
+        print(f"wrote {args.out} ({len(spans)} spans)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -15,8 +15,10 @@ the experiment seed.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs import state
 
@@ -24,11 +26,27 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "SloHistogram",
     "MetricsRegistry",
+    "percentile_labels",
     "current_registry",
     "set_registry",
     "collecting",
 ]
+
+
+def percentile_labels(percentiles: Sequence[float]) -> Dict[str, float]:
+    """Ordered ``label -> p`` map with ``p{p:g}`` collisions deduped.
+
+    ``99.9`` and ``99.90`` both format to ``p99.9``; the first
+    occurrence wins so a summary never emits the same key twice.
+    """
+    out: Dict[str, float] = {}
+    for p in percentiles:
+        label = f"p{p:g}"
+        if label not in out:
+            out[label] = p
+    return out
 
 
 def _key(name: str, labels: Dict[str, Any]) -> str:
@@ -79,7 +97,7 @@ class Histogram:
 
     __slots__ = ("key", "samples")
 
-    PERCENTILES = (50.0, 95.0, 99.0)
+    PERCENTILES = (50.0, 95.0, 99.0, 99.9)
 
     def __init__(self, key: str):
         self.key = key
@@ -116,9 +134,121 @@ class Histogram:
         if self.samples:
             out["min"] = min(self.samples)
             out["max"] = max(self.samples)
-        for p in self.PERCENTILES:
-            out[f"p{p:g}"] = self.percentile(p)
+        for label, p in percentile_labels(self.PERCENTILES).items():
+            out[label] = self.percentile(p)
         return out
+
+
+def _slo_edges() -> Tuple[float, ...]:
+    """The shared fixed bucket edges: 1 µs .. ~2^31.5 µs, √2 growth.
+
+    ``math.sqrt`` is correctly rounded by IEEE 754 and float multiply
+    is exact-rounded, so repeated multiplication yields bit-identical
+    edges on every platform — a requirement for byte-stable artifacts.
+    """
+    growth = math.sqrt(2.0)
+    edges = [1.0]
+    for _ in range(63):
+        edges.append(edges[-1] * growth)
+    return tuple(edges)
+
+
+class SloHistogram:
+    """A fixed-bucket log-scale latency histogram for SLO reporting.
+
+    Unlike :class:`Histogram` (exact samples, bounded runs), this keeps
+    only per-bucket counts plus exact count/sum/min/max — O(1) memory
+    for the million-client workloads of ROADMAP item 5 — and merges
+    across ``--jobs`` workers exactly: bucket counts are integers, so
+    elementwise addition loses nothing, and the float sum is folded in
+    the same declared point order a serial run would use.
+
+    Percentiles (p50/p99/p999) are estimated by linear interpolation
+    inside the covering bucket, clamped to the observed min/max.
+    """
+
+    __slots__ = ("key", "counts", "total", "vmin", "vmax")
+
+    EDGES = _slo_edges()
+    PERCENTILES = (50.0, 99.0, 99.9)
+
+    def __init__(self, key: str):
+        self.key = key
+        self.counts = [0] * (len(self.EDGES) + 1)
+        self.total = 0.0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample (a latency in virtual microseconds)."""
+        value = float(value)
+        self.counts[bisect_right(self.EDGES, value)] += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def percentile(self, p: float) -> float:
+        """Bucket-interpolated *p*-th percentile, 0.0 with no samples."""
+        n = self.count
+        if n == 0:
+            return 0.0
+        target = (p / 100.0) * n
+        edges = self.EDGES
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = 0.0 if i == 0 else edges[i - 1]
+                upper = edges[i] if i < len(edges) else self.vmax
+                frac = (target - cumulative) / bucket_count
+                estimate = lower + frac * (upper - lower)
+                return min(max(estimate, self.vmin), self.vmax)
+            cumulative += bucket_count
+        return self.vmax  # pragma: no cover - target <= n always lands above
+
+    def summary(self) -> Dict[str, float]:
+        """The JSON-friendly digest embedded in artifact slo sections."""
+        n = self.count
+        out: Dict[str, float] = {"count": float(n), "sum": self.total}
+        if n:
+            out["min"] = self.vmin
+            out["max"] = self.vmax
+        for label, p in percentile_labels(self.PERCENTILES).items():
+            out[label] = self.percentile(p)
+        return out
+
+    def state(self) -> Dict[str, Any]:
+        """Lossless state for :meth:`MetricsRegistry.dump`."""
+        return {
+            "counts": list(self.counts),
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+        }
+
+    def merge_state(self, other: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one exactly."""
+        counts = other["counts"]
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"slo histogram {self.key}: bucket layout mismatch "
+                f"({len(counts)} vs {len(self.counts)})"
+            )
+        for i, c in enumerate(counts):
+            self.counts[i] += int(c)
+        self.total += float(other["sum"])
+        incoming_min, incoming_max = other["min"], other["max"]
+        if incoming_min is not None and (self.vmin is None or incoming_min < self.vmin):
+            self.vmin = float(incoming_min)
+        if incoming_max is not None and (self.vmax is None or incoming_max > self.vmax):
+            self.vmax = float(incoming_max)
 
 
 class MetricsRegistry:
@@ -128,6 +258,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._slos: Dict[str, SloHistogram] = {}
 
     # -- series access ---------------------------------------------------
 
@@ -155,6 +286,14 @@ class MetricsRegistry:
             series = self._histograms[key] = Histogram(key)
         return series
 
+    def slo(self, name: str, **labels: Any) -> SloHistogram:
+        """The SLO histogram for (name, labels), created on first use."""
+        key = _key(name, labels)
+        series = self._slos.get(key)
+        if series is None:
+            series = self._slos[key] = SloHistogram(key)
+        return series
+
     # -- queries ---------------------------------------------------------
 
     def value(self, name: str, **labels: Any) -> Optional[float]:
@@ -178,13 +317,16 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Any]:
         """Deterministic JSON-friendly dump of every series."""
-        return {
+        snapshot = {
             "counters": {k: self._counters[k].value for k in sorted(self._counters)},
             "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
             "histograms": {
                 k: self._histograms[k].summary() for k in sorted(self._histograms)
             },
         }
+        if self._slos:
+            snapshot["slo"] = {k: self._slos[k].summary() for k in sorted(self._slos)}
+        return snapshot
 
     # -- cross-process merging -------------------------------------------
 
@@ -199,6 +341,7 @@ class MetricsRegistry:
             "counters": {k: c.value for k, c in self._counters.items()},
             "gauges": {k: g.value for k, g in self._gauges.items()},
             "histograms": {k: list(h.samples) for k, h in self._histograms.items()},
+            "slo": {k: s.state() for k, s in self._slos.items()},
         }
 
     def merge_dump(self, dump: Dict[str, Any]) -> None:
@@ -225,6 +368,11 @@ class MetricsRegistry:
             if series is None:
                 series = self._histograms[key] = Histogram(key)
             series.samples.extend(float(s) for s in samples)
+        for key, slo_state in dump.get("slo", {}).items():
+            series = self._slos.get(key)
+            if series is None:
+                series = self._slos[key] = SloHistogram(key)
+            series.merge_state(slo_state)
 
 
 # -- installation ---------------------------------------------------------

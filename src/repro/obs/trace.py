@@ -33,8 +33,18 @@ __all__ = [
     "Tracer",
     "current_tracer",
     "set_tracer",
+    "span_sort_key",
     "tracing",
 ]
+
+
+def span_sort_key(span: "Span") -> tuple:
+    """Deterministic ordering: start time, then recording id.
+
+    The id tie-break keeps instants stamped at the same virtual
+    timestamp in a stable order across renders and exports.
+    """
+    return (span.start_us, span.span_id)
 
 
 class Span:
@@ -117,13 +127,28 @@ class Tracer:
     def __init__(self) -> None:
         self.spans: List[Span] = []
         self._ids = itertools.count(1)
+        #: The ambient span context.  The simulator engine saves/restores
+        #: this around each process step so spans opened by a resumed
+        #: process parent under the operation that spawned it; recording
+        #: sites may also read it directly for implicit parenting.
+        self.current: Optional[Span] = None
 
     # -- recording -------------------------------------------------------
 
     def span(
         self, name: str, now: float, parent: Optional[Span] = None, **attrs: Any
     ) -> Span:
-        """Open a span starting at virtual time *now*."""
+        """Open a span starting at virtual time *now*.
+
+        With no explicit *parent* the span attaches to the ambient
+        context (:attr:`current`), falling back to a root span.  A
+        parent recorded by a *different* tracer is ignored — the span
+        becomes a root here rather than pointing at a foreign id.
+        """
+        if parent is None:
+            parent = self.current
+        if parent is not None and parent.tracer is not self:
+            parent = None
         span = Span(
             self,
             next(self._ids),
@@ -151,12 +176,30 @@ class Tracer:
         return [s for s in self.spans if s.name == name]
 
     def roots(self) -> List[Span]:
-        """Spans with no parent, in recording order."""
-        return [s for s in self.spans if s.parent_id is None]
+        """Top-level spans, in recording order.
+
+        Includes true roots (no parent) and *orphans*: spans whose
+        parent id is not present in this tracer — e.g. the parent was
+        recorded before a flight-recorder ring evicted it, or closed
+        before the tracer was installed.  Orphans used to vanish from
+        :meth:`render_tree`; they now render as top-level trees.
+        """
+        known = {s.span_id for s in self.spans}
+        return [
+            s
+            for s in self.spans
+            if s.parent_id is None or s.parent_id not in known
+        ]
 
     def children_of(self, span: Span) -> List[Span]:
-        """Direct children of *span*, in recording order."""
-        return [s for s in self.spans if s.parent_id == span.span_id]
+        """Direct children of *span*, ordered by (start time, span id).
+
+        The span-id tie-break gives instants recorded at the same
+        virtual timestamp a stable, deterministic order.
+        """
+        kids = [s for s in self.spans if s.parent_id == span.span_id]
+        kids.sort(key=span_sort_key)
+        return kids
 
     def subtree(self, span: Span) -> List[Span]:
         """*span* plus every descendant, depth-first."""

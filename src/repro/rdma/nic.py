@@ -226,11 +226,15 @@ class Rnic:
                 posts=len(live),
                 req_bytes=total_request_bytes,
             )
-            span.finish(sim.now)
 
         def after_serialise(_event: Event) -> None:
             if not self.host.alive:
                 return  # the requester died with the flush still queued
+            if span is not None:
+                # The span covers the doorbell flush wait: post -> all
+                # payloads serialised onto the link.
+                span.event("nic.serialised", sim.now)
+                span.finish(sim.now)
             for post in live:
                 if not post.done.settled:
                     self._propagate(
@@ -239,6 +243,7 @@ class Rnic:
                         post.response_bytes,
                         post.apply_remote,
                         post.done,
+                        span,
                     )
 
         serialise_cost = (

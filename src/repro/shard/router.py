@@ -17,6 +17,7 @@ from repro.compat import resolve_us_kwargs
 from repro.kv.client import KvClient
 from repro.net.fabric import Fabric
 from repro.net.host import Host
+from repro.obs import state as obs_state
 from repro.shard.service import ShardedKvService
 from repro.sim.units import MS
 
@@ -78,17 +79,35 @@ class ShardRouter:
 
     def put(self, key: bytes, value: bytes):
         """Process: store *value* under *key* on the owning shard."""
-        result = yield from self.client_for(key).put(key, value)
+        shard = self.service.shard_for(key)
+        started = self.host.sim.now
+        result = yield from self.clients[shard].put(key, value)
+        if obs_state.REGISTRY is not None:
+            obs_state.REGISTRY.slo("shard.op_latency_us", op="put", shard=shard).observe(
+                self.host.sim.now - started
+            )
         return result
 
     def get(self, key: bytes):
         """Process: fetch *key* from the owning shard."""
-        result = yield from self.client_for(key).get(key)
+        shard = self.service.shard_for(key)
+        started = self.host.sim.now
+        result = yield from self.clients[shard].get(key)
+        if obs_state.REGISTRY is not None:
+            obs_state.REGISTRY.slo("shard.op_latency_us", op="get", shard=shard).observe(
+                self.host.sim.now - started
+            )
         return result
 
     def delete(self, key: bytes):
         """Process: delete *key* on the owning shard."""
-        result = yield from self.client_for(key).delete(key)
+        shard = self.service.shard_for(key)
+        started = self.host.sim.now
+        result = yield from self.clients[shard].delete(key)
+        if obs_state.REGISTRY is not None:
+            obs_state.REGISTRY.slo(
+                "shard.op_latency_us", op="delete", shard=shard
+            ).observe(self.host.sim.now - started)
         return result
 
     # -- diagnostics --------------------------------------------------------------

@@ -269,15 +269,18 @@ class Process(Event):
     loud test failures.
     """
 
-    __slots__ = ("_gen", "name", "_waiting_on")
+    __slots__ = ("_gen", "name", "_waiting_on", "span")
 
     def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str = ""):
         super().__init__(sim)
         self._gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        #: Span context the process runs under on traced runs; inherited
+        #: from the spawner's ambient context, None when tracing is off.
+        self.span = None
         # Start the process asynchronously at the current time.
-        sim.schedule(0.0, self._step, None, None)
+        sim.schedule(0.0, self._step_ctx, None, None)
 
     @property
     def alive(self) -> bool:
@@ -365,12 +368,37 @@ class Process(Event):
                 target._callbacks.append(self._resume)
             return
 
+    def _step_ctx(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
+        """Step the generator under this process's span context.
+
+        On traced runs the tracer's ambient :attr:`Tracer.current` is
+        swapped to :attr:`span` around the step (and restored, so inline
+        settle chains that resume other processes re-establish their own
+        context).  With tracing off this is a single ``is None`` check
+        in front of :meth:`_step`.
+        """
+        tracer = obs_state.TRACER
+        if tracer is None:
+            self._step(send_value, throw_exc)
+            return
+        prev = tracer.current
+        tracer.current = self.span
+        try:
+            self._step(send_value, throw_exc)
+        finally:
+            tracer.current = prev
+
     def _resume(self, event: Event) -> None:
         if self._settled:
             return
         if event is not self._waiting_on:
             return  # stale callback from an event we no longer wait on
-        if event._ok:
+        if obs_state.TRACER is not None:
+            if event._ok:
+                self._step_ctx(event._value, None)
+            else:
+                self._step_ctx(None, event._exc)
+        elif event._ok:
             self._step(event._value, None)
         else:
             self._step(None, event._exc)
@@ -785,8 +813,10 @@ class Simulator:
     def spawn(self, gen: ProcessGenerator, name: str = "") -> Process:
         """Start a new process from a generator."""
         process = Process(self, gen, name)
-        if obs_state.TRACER is not None:
-            obs_state.TRACER.instant("proc.spawn", self._now, process=process.name)
+        tracer = obs_state.TRACER
+        if tracer is not None:
+            process.span = tracer.current
+            tracer.instant("proc.spawn", self._now, process=process.name)
         return process
 
     # -- introspection -----------------------------------------------------

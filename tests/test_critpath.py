@@ -1,0 +1,266 @@
+"""Critical-path attribution: exactness, stage selection, real runs.
+
+The synthetic tests pin the boundary semantics (milestone clamping,
+serve-vs-replicated stage selection, nested-RPC filtering) on
+hand-built span trees where every expected number is known.  The
+integration tests then trace a real Sift run and check the two
+load-bearing invariants end to end: segments sum to the root duration
+bit for bit for *every* operation, and tracing changes none of the
+measured numbers.  Finally the fig6path point function must be
+byte-identical under ``run_points`` at ``jobs=1`` and ``jobs=2``.
+"""
+
+import pytest
+
+from repro.bench.calibration import BenchScale
+from repro.bench.parallel import Point, run_points
+from repro.bench.points import critpath_point
+from repro.bench.runner import run_latency
+from repro.bench.systems import sift_spec
+from repro.obs.critpath import (
+    STAGES,
+    aggregate,
+    attribute,
+    attribute_all,
+    critical_path_section,
+)
+from repro.obs.trace import Tracer
+from repro.sim.units import MS
+from repro.workloads import WORKLOADS
+
+SCALE = BenchScale(keys=2048, warmup_us=10 * MS, measure_us=20 * MS, clients=8)
+
+TINY = BenchScale(
+    keys=512,
+    warmup_us=10 * MS,
+    measure_us=30 * MS,
+    clients=6,
+    wal_entries=512,
+    kv_wal_entries=512,
+)
+
+
+def _segments(breakdown):
+    return {stage: us for stage, us in breakdown["segments"]}
+
+
+def _stage_order(breakdown):
+    return [stage for stage, _us in breakdown["segments"]]
+
+
+def _replicated_put(tracer, start=0.0, end=100.0):
+    """A put with the full milestone set at known offsets."""
+    root = tracer.span("rpc.kv.put", start, src="client-0")
+    root.event("rpc.recv", start + 10.0, method="kv.put")
+    root.event("repmem.fanout", start + 30.0)
+    root.event("nic.serialised", start + 40.0)
+    root.event("repmem.quorum", start + 60.0)
+    root.event("rpc.reply", start + 80.0, method="kv.put")
+    root.annotate(ok=True)
+    root.finish(end)
+    return root
+
+
+class TestAttribute:
+    def test_full_milestone_breakdown(self):
+        tracer = Tracer()
+        root = _replicated_put(tracer)
+        breakdown = attribute(tracer, root)
+        assert breakdown["op"] == "rpc.kv.put"
+        assert breakdown["duration_us"] == 100.0
+        assert _stage_order(breakdown) == [
+            "rpc_in", "wal_write", "fanout", "quorum", "apply", "ack",
+        ]
+        assert _segments(breakdown) == {
+            "rpc_in": 10.0,
+            "wal_write": 20.0,
+            "fanout": 10.0,
+            "quorum": 20.0,
+            "apply": 20.0,
+            "ack": 20.0,
+        }
+
+    def test_serve_path_without_replication_milestones(self):
+        tracer = Tracer()
+        root = tracer.span("rpc.kv.get", 0.0)
+        root.event("rpc.recv", 10.0, method="kv.get")
+        root.event("rpc.reply", 40.0, method="kv.get")
+        root.finish(50.0)
+        breakdown = attribute(tracer, root)
+        assert _stage_order(breakdown) == ["rpc_in", "serve", "ack"]
+        assert _segments(breakdown) == {"rpc_in": 10.0, "serve": 30.0, "ack": 10.0}
+
+    def test_nested_rpc_milestones_are_filtered_by_method(self):
+        # A baseline system replicates behind nested RPCs whose own
+        # recv/reply instants must not move the root's boundaries.
+        tracer = Tracer()
+        root = tracer.span("rpc.kv.put", 0.0)
+        root.event("rpc.recv", 10.0, method="kv.put")
+        nested = root.child("rpc.repl.append", 15.0)
+        nested.event("rpc.recv", 16.0, method="repl.append")
+        nested.event("rpc.reply", 25.0, method="repl.append")
+        nested.finish(26.0)
+        root.event("rpc.reply", 40.0, method="kv.put")
+        root.finish(50.0)
+        breakdown = attribute(tracer, root)
+        assert _segments(breakdown) == {"rpc_in": 10.0, "serve": 30.0, "ack": 10.0}
+
+    def test_milestones_clamp_into_the_root_interval(self):
+        tracer = Tracer()
+        root = tracer.span("rpc.kv.get", 10.0)
+        root.event("rpc.recv", 2.0, method="kv.get")  # before the root opens
+        root.event("rpc.reply", 200.0, method="kv.get")  # after it closes
+        root.finish(60.0)
+        breakdown = attribute(tracer, root)
+        assert _segments(breakdown) == {"rpc_in": 0.0, "serve": 50.0, "ack": 0.0}
+        assert sum(us for _s, us in breakdown["segments"]) == 50.0
+
+    def test_out_of_order_milestones_stay_monotonic(self):
+        # A quorum stamped before the fanout (should not happen, but the
+        # attribution must not produce negative segments if it does).
+        tracer = Tracer()
+        root = tracer.span("rpc.kv.put", 0.0)
+        root.event("rpc.recv", 10.0, method="kv.put")
+        root.event("repmem.fanout", 40.0)
+        root.event("repmem.quorum", 30.0)
+        root.finish(50.0)
+        breakdown = attribute(tracer, root)
+        assert all(us >= 0.0 for _stage, us in breakdown["segments"])
+        total = 0.0
+        for _stage, us in breakdown["segments"]:
+            total += us
+        assert total == breakdown["duration_us"]
+
+    def test_exact_sum_with_awkward_floats(self):
+        # Boundaries chosen so naive float telescoping leaves residue;
+        # the fix-up must make the left-to-right sum exact anyway.
+        tracer = Tracer()
+        root = tracer.span("rpc.kv.put", 0.1)
+        root.event("rpc.recv", 0.1 + 0.2, method="kv.put")
+        root.event("repmem.fanout", 0.7)
+        root.event("repmem.quorum", 1.1 + 1e-9)
+        root.event("rpc.reply", 2.3, method="kv.put")
+        root.finish(2.9000000000000004)
+        breakdown = attribute(tracer, root)
+        total = 0.0
+        for _stage, us in breakdown["segments"]:
+            total += us
+        assert total == breakdown["duration_us"]  # bit-for-bit
+
+    def test_unfinished_root_raises(self):
+        tracer = Tracer()
+        root = tracer.span("rpc.kv.put", 0.0)
+        with pytest.raises(ValueError):
+            attribute(tracer, root)
+
+    def test_fanout_uses_last_serialisation_before_quorum(self):
+        tracer = Tracer()
+        root = tracer.span("rpc.kv.put", 0.0)
+        root.event("rpc.recv", 10.0, method="kv.put")
+        root.event("repmem.fanout", 20.0)
+        root.event("nic.serialised", 25.0)
+        root.event("nic.serialised", 35.0)
+        root.event("repmem.quorum", 40.0)
+        root.event("nic.serialised", 45.0)  # after quorum: not fanout work
+        root.event("rpc.reply", 50.0, method="kv.put")
+        root.finish(60.0)
+        assert _segments(attribute(tracer, root))["fanout"] == 15.0  # 20 -> 35
+
+
+class TestAttributeAll:
+    def test_skips_unfinished_failed_and_foreign_roots(self):
+        tracer = Tracer()
+        ok = _replicated_put(tracer)
+        tracer.span("rpc.kv.put", 200.0)  # still open: skipped
+        failed = tracer.span("rpc.kv.get", 300.0)
+        failed.annotate(ok=False)
+        failed.finish(310.0)
+        other = tracer.span("proc.step", 400.0)  # not an op root
+        other.finish(410.0)
+        breakdowns = attribute_all(tracer)
+        assert [b["start_us"] for b in breakdowns] == [ok.start_us]
+
+    def test_aggregate_shares_sum_to_one(self):
+        tracer = Tracer()
+        for i in range(5):
+            _replicated_put(tracer, start=i * 1000.0, end=i * 1000.0 + 100.0)
+        digest = aggregate(attribute_all(tracer))
+        assert digest["count"] == 5
+        assert digest["duration_us"]["mean"] == 100.0
+        share_total = sum(s["share"] for s in digest["stages"].values())
+        assert share_total == pytest.approx(1.0, abs=1e-12)
+        assert set(digest["stages"]) <= set(STAGES)
+
+    def test_critical_path_section_groups_and_samples(self):
+        tracer = Tracer()
+        for i in range(4):
+            _replicated_put(tracer, start=i * 1000.0, end=i * 1000.0 + 100.0)
+        section = critical_path_section(tracer, sample_ops=2)
+        assert list(section) == ["rpc.kv.put"]
+        entry = section["rpc.kv.put"]
+        assert entry["aggregate"]["count"] == 4
+        assert len(entry["sampled_ops"]) == 2
+
+
+class TestRealRun:
+    def _traced(self):
+        tracer = Tracer()
+        result = run_latency(
+            sift_spec(cores=12, scale=SCALE),
+            WORKLOADS["mixed"],
+            1,
+            scale=SCALE,
+            seed=1,
+            tracer=tracer,
+        )
+        return tracer, result
+
+    def test_tracing_does_not_perturb_measured_latency(self):
+        untraced = run_latency(
+            sift_spec(cores=12, scale=SCALE), WORKLOADS["mixed"], 1,
+            scale=SCALE, seed=1,
+        )
+        _tracer, traced = self._traced()
+        assert traced == untraced
+
+    def test_every_op_sums_exactly_and_puts_replicate(self):
+        tracer, _result = self._traced()
+        breakdowns = attribute_all(tracer)
+        assert breakdowns, "traced run recorded no finished operations"
+        for breakdown in breakdowns:
+            total = 0.0
+            for _stage, us in breakdown["segments"]:
+                total += us
+            assert total == breakdown["duration_us"]
+            assert all(us >= 0.0 for _stage, us in breakdown["segments"])
+        puts = [b for b in breakdowns if b["op"] == "rpc.kv.put"]
+        assert puts, "mixed workload produced no puts"
+        for put in puts:
+            stages = set(_segments(put))
+            assert {"wal_write", "quorum"} <= stages
+        section = critical_path_section(tracer)
+        assert {"rpc.kv.get", "rpc.kv.put"} <= set(section)
+
+
+class TestJobsParity:
+    def test_critpath_point_identical_at_jobs_1_and_2(self):
+        points = [
+            Point(
+                key=f"{system}/low",
+                fn=critpath_point,
+                kwargs={
+                    "system": system,
+                    "workload": "mixed",
+                    "clients": 1,
+                    "cores": 12,
+                    "scale": TINY,
+                    "seed": 1,
+                    "sample_ops": 4,
+                    "export_spans": 200,
+                },
+            )
+            for system in ("sift", "raft-r")
+        ]
+        serial = run_points(points, jobs=1)
+        fanned = run_points(points, jobs=2)
+        assert serial == fanned

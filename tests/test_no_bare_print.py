@@ -1,0 +1,42 @@
+"""Local mirror of the CI lint: no bare ``print`` in library code.
+
+Loads ``tools/check_no_print.py`` straight off disk (it is a script,
+not a package) and asserts a clean scan, so a stray debugging print in
+``src/repro/`` fails the tier-1 suite before it ever reaches CI.
+"""
+
+import importlib.util
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_checker():
+    path = os.path.join(REPO_ROOT, "tools", "check_no_print.py")
+    spec = importlib.util.spec_from_file_location("check_no_print", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_library_code_has_no_bare_prints():
+    checker = _load_checker()
+    violations = checker.scan(REPO_ROOT)
+    assert violations == [], (
+        "bare print() in library code (route through repro.obs or "
+        "print(..., file=sys.stderr)): " + ", ".join(violations)
+    )
+
+
+def test_checker_flags_a_bare_print(tmp_path):
+    # The lint itself must work: a synthetic tree with one bare print
+    # and one stderr print yields exactly the bare one.
+    pkg = tmp_path / "src" / "repro" / "demo"
+    os.makedirs(pkg)
+    (pkg / "bad.py").write_text(
+        "import sys\n"
+        "print('bare')\n"
+        "print('fine', file=sys.stderr)\n"
+    )
+    checker = _load_checker()
+    assert checker.scan(str(tmp_path)) == ["src/repro/demo/bad.py:2"]

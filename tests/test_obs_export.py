@@ -1,0 +1,303 @@
+"""Perfetto/Chrome trace export: golden bytes, schema, CLI round-trip.
+
+The golden literal below pins the full canonical encoding — metadata
+records first, tracks numbered in sorted-name order, events ordered by
+``(ts, span_id)``, sorted JSON keys, trailing newline.  If the export
+format changes intentionally, regenerate the literal *and* refresh
+``benchmarks/baselines/TRACE_fig6path.json`` in the same commit (CI
+byte-compares that artifact too).
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.obs.export import (
+    ExportError,
+    chrome_trace,
+    chrome_trace_bytes,
+    load_spans,
+    main,
+    session_doc,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_session,
+)
+from repro.obs.trace import Tracer
+
+
+def _golden_tracer():
+    tracer = Tracer()
+    root = tracer.span("rpc.kv.put", 10.0, src="client-0")
+    root.event("rpc.recv", 12.5, method="kv.put")
+    tracer.span("poll", 11.0, host="nic0")  # left unfinished on purpose
+    root.finish(30.0)
+    return tracer
+
+
+GOLDEN = textwrap.dedent(
+    """\
+    {
+      "displayTimeUnit": "ms",
+      "traceEvents": [
+        {
+          "args": {
+            "name": "golden"
+          },
+          "name": "process_name",
+          "ph": "M",
+          "pid": 1,
+          "tid": 0
+        },
+        {
+          "args": {
+            "name": "client-0"
+          },
+          "name": "thread_name",
+          "ph": "M",
+          "pid": 1,
+          "tid": 1
+        },
+        {
+          "args": {
+            "name": "nic0"
+          },
+          "name": "thread_name",
+          "ph": "M",
+          "pid": 1,
+          "tid": 2
+        },
+        {
+          "args": {
+            "name": "trace"
+          },
+          "name": "thread_name",
+          "ph": "M",
+          "pid": 1,
+          "tid": 3
+        },
+        {
+          "args": {
+            "span_id": 1,
+            "src": "client-0"
+          },
+          "dur": 20.0,
+          "name": "rpc.kv.put",
+          "ph": "X",
+          "pid": 1,
+          "tid": 1,
+          "ts": 10.0
+        },
+        {
+          "args": {
+            "host": "nic0",
+            "span_id": 3,
+            "unfinished": true
+          },
+          "dur": 0.0,
+          "name": "poll",
+          "ph": "X",
+          "pid": 1,
+          "tid": 2,
+          "ts": 11.0
+        },
+        {
+          "args": {
+            "method": "kv.put",
+            "parent_id": 1,
+            "span_id": 2
+          },
+          "name": "rpc.recv",
+          "ph": "i",
+          "pid": 1,
+          "s": "t",
+          "tid": 3,
+          "ts": 12.5
+        }
+      ]
+    }
+    """
+).encode("utf-8")
+
+
+class TestChromeTrace:
+    def test_golden_bytes(self):
+        payload = chrome_trace_bytes(
+            _golden_tracer().to_dicts(), process_name="golden"
+        )
+        assert payload == GOLDEN
+
+    def test_golden_validates(self):
+        doc = json.loads(GOLDEN.decode("utf-8"))
+        validate_chrome_trace(doc)  # must not raise
+
+    def test_byte_identical_across_independent_builds(self):
+        a = chrome_trace_bytes(_golden_tracer().to_dicts())
+        b = chrome_trace_bytes(_golden_tracer().to_dicts())
+        assert a == b
+
+    def test_unfinished_span_exports_as_zero_duration_complete_event(self):
+        tracer = Tracer()
+        tracer.span("open.op", 5.0)
+        (event,) = [
+            e
+            for e in chrome_trace(tracer.to_dicts())["traceEvents"]
+            if e["ph"] != "M"
+        ]
+        assert event["ph"] == "X"
+        assert event["dur"] == 0.0
+        assert event["args"]["unfinished"] is True
+
+    def test_same_timestamp_instants_keep_span_id_order(self):
+        tracer = Tracer()
+        for name in ("b.second", "a.first", "c.third"):
+            tracer.instant(name, 7.0)
+        body = [
+            e
+            for e in chrome_trace(tracer.to_dicts())["traceEvents"]
+            if e["ph"] != "M"
+        ]
+        assert [e["name"] for e in body] == ["b.second", "a.first", "c.third"]
+        assert [e["args"]["span_id"] for e in body] == [1, 2, 3]
+
+    def test_tracks_from_attrs_in_sorted_order(self):
+        tracer = Tracer()
+        tracer.instant("x", 1.0, host="zeta")
+        tracer.instant("y", 2.0, src="alpha")
+        tracer.instant("z", 3.0)  # no track attr: default "trace" track
+        doc = chrome_trace(tracer.to_dicts())
+        names = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert names == ["alpha", "trace", "zeta"]
+
+    def test_non_json_attrs_are_stringified(self):
+        spans = [
+            {
+                "span_id": 1,
+                "parent_id": None,
+                "name": "weird",
+                "start_us": 0.0,
+                "end_us": 1.0,
+                "attrs": {"nan": float("nan"), "obj": (1, 2)},
+            }
+        ]
+        payload = chrome_trace_bytes(spans)  # allow_nan=False must not trip
+        doc = json.loads(payload.decode("utf-8"))
+        validate_chrome_trace(doc)
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert event["args"]["nan"] == "nan"
+        assert event["args"]["obj"] == "(1, 2)"
+
+
+class TestValidate:
+    def test_rejects_non_document(self):
+        with pytest.raises(ExportError):
+            validate_chrome_trace([])
+
+    def test_rejects_unknown_phase(self):
+        doc = {"traceEvents": [{"ph": "B", "pid": 1, "tid": 1, "name": "x"}]}
+        with pytest.raises(ExportError):
+            validate_chrome_trace(doc)
+
+    def test_rejects_complete_event_without_duration(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "pid": 1, "tid": 1, "name": "x", "ts": 0.0}
+            ]
+        }
+        with pytest.raises(ExportError):
+            validate_chrome_trace(doc)
+
+    def test_rejects_instant_without_scope(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "i", "pid": 1, "tid": 1, "name": "x", "ts": 0.0}
+            ]
+        }
+        with pytest.raises(ExportError):
+            validate_chrome_trace(doc)
+
+    def test_rejects_negative_duration(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "pid": 1, "tid": 1, "name": "x", "ts": 0.0, "dur": -1.0}
+            ]
+        }
+        with pytest.raises(ExportError):
+            validate_chrome_trace(doc)
+
+
+class TestLoadSpans:
+    def test_session_file_round_trip(self, tmp_path):
+        tracer = _golden_tracer()
+        path = write_session(str(tmp_path / "session.json"), tracer, label="t")
+        assert load_spans(path) == tracer.to_dicts()
+
+    def test_session_doc_shape(self):
+        doc = session_doc(_golden_tracer(), label="smoke")
+        assert doc["kind"] == "repro.obs.trace-session"
+        assert doc["label"] == "smoke"
+        assert len(doc["spans"]) == 3
+
+    def test_bare_list_and_postmortem_shapes(self, tmp_path):
+        spans = _golden_tracer().to_dicts()
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(spans))
+        assert load_spans(str(bare)) == spans
+        postmortem = tmp_path / "pm.json"
+        postmortem.write_text(json.dumps({"kind": "whatever", "spans": spans}))
+        assert load_spans(str(postmortem)) == spans
+
+    def test_rejects_documents_without_spans(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ExportError):
+            load_spans(str(path))
+
+    def test_rejects_malformed_span_entries(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"name": "no-id"}]))
+        with pytest.raises(ExportError):
+            load_spans(str(path))
+
+    def test_rejects_invalid_json_and_missing_files(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ExportError):
+            load_spans(str(path))
+        with pytest.raises(ExportError):
+            load_spans(str(tmp_path / "absent.json"))
+
+
+class TestCli:
+    def test_export_round_trip(self, tmp_path, capsys):
+        tracer = _golden_tracer()
+        session = write_session(str(tmp_path / "session.json"), tracer)
+        out = tmp_path / "TRACE.json"
+        assert main([session, "-o", str(out), "--process-name", "golden"]) == 0
+        assert out.read_bytes() == GOLDEN
+        assert "wrote" in capsys.readouterr().out
+
+    def test_stdout_mode_emits_the_canonical_payload(self, tmp_path, capsys):
+        session = write_session(str(tmp_path / "session.json"), _golden_tracer())
+        assert main([session, "--process-name", "golden"]) == 0
+        assert capsys.readouterr().out.encode("utf-8") == GOLDEN
+
+    def test_bad_input_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main([str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_write_chrome_trace_helper(self, tmp_path):
+        path = write_chrome_trace(
+            str(tmp_path / "t.json"),
+            _golden_tracer().to_dicts(),
+            process_name="golden",
+        )
+        with open(path, "rb") as fh:
+            assert fh.read() == GOLDEN

@@ -1,0 +1,165 @@
+"""SLO histograms and the percentile-label plumbing around them.
+
+The fixed-bucket log-scale histogram must merge *exactly* across
+``--jobs`` workers (integer bucket counts, declared-order float folds)
+and summarise deterministically — these tests pin the bucket layout,
+the interpolated percentiles' clamping, and the snapshot/dump/merge
+round-trip the parallel executor relies on.
+"""
+
+import pytest
+
+from repro.obs.registry import (
+    Histogram,
+    MetricsRegistry,
+    SloHistogram,
+    percentile_labels,
+)
+
+
+class TestPercentileLabels:
+    def test_formats_with_general_precision(self):
+        assert percentile_labels((50.0, 95.0, 99.9)) == {
+            "p50": 50.0,
+            "p95": 95.0,
+            "p99.9": 99.9,
+        }
+
+    def test_colliding_labels_first_wins(self):
+        # 99.9 and 99.90 both format to "p99.9"; the map must not emit
+        # the key twice nor let the later value clobber the first.
+        labels = percentile_labels((99.9, 99.90, 50.0))
+        assert list(labels) == ["p99.9", "p50"]
+        assert labels["p99.9"] == 99.9
+
+    def test_order_is_preserved(self):
+        assert list(percentile_labels((99.0, 50.0, 95.0))) == ["p99", "p50", "p95"]
+
+
+class TestHistogramDefaults:
+    def test_summary_includes_p999(self):
+        histogram = Histogram("lat")
+        for v in range(1, 1001):
+            histogram.observe(float(v))
+        summary = histogram.summary()
+        assert set(summary) >= {"count", "sum", "min", "max", "p50", "p95", "p99", "p99.9"}
+        assert summary["p99.9"] == pytest.approx(999.001)
+        assert summary["p50"] == 500.5
+
+
+class TestSloHistogram:
+    def test_bucket_layout_is_fixed_and_increasing(self):
+        edges = SloHistogram.EDGES
+        assert len(edges) == 64
+        assert edges[0] == 1.0
+        assert all(a < b for a, b in zip(edges, edges[1:]))
+        slo = SloHistogram("lat")
+        assert len(slo.counts) == len(edges) + 1
+
+    def test_empty_summary(self):
+        summary = SloHistogram("lat").summary()
+        assert summary == {"count": 0.0, "sum": 0.0, "p50": 0.0, "p99": 0.0, "p99.9": 0.0}
+
+    def test_exact_count_sum_min_max(self):
+        slo = SloHistogram("lat")
+        for v in (3.0, 0.25, 700.0, 3.0):
+            slo.observe(v)
+        assert slo.count == 4
+        assert slo.total == 706.25
+        assert slo.vmin == 0.25
+        assert slo.vmax == 700.0
+
+    def test_percentiles_clamp_to_observed_range(self):
+        slo = SloHistogram("lat")
+        for _ in range(100):
+            slo.observe(42.0)
+        # Interpolation inside the covering bucket must never escape
+        # the observed min/max.
+        assert slo.percentile(50.0) == 42.0
+        assert slo.percentile(99.9) == 42.0
+
+    def test_percentiles_are_monotone(self):
+        slo = SloHistogram("lat")
+        for v in range(1, 10_001):
+            slo.observe(float(v))
+        p50, p99, p999 = (slo.percentile(p) for p in (50.0, 99.0, 99.9))
+        assert p50 <= p99 <= p999
+        assert slo.vmin <= p50 and p999 <= slo.vmax
+
+    def test_merge_equals_serial_observation(self):
+        # Integer-valued samples make float addition exact, so the
+        # merged histogram must match serial observation bit for bit.
+        left, right, serial = SloHistogram("l"), SloHistogram("r"), SloHistogram("s")
+        first = [float(v) for v in (1, 7, 90, 4096, 3)]
+        second = [float(v) for v in (2, 2, 500_000, 16)]
+        for v in first:
+            left.observe(v)
+            serial.observe(v)
+        for v in second:
+            right.observe(v)
+            serial.observe(v)
+        left.merge_state(right.state())
+        assert left.counts == serial.counts
+        assert left.total == serial.total
+        assert left.vmin == serial.vmin
+        assert left.vmax == serial.vmax
+        assert left.summary() == serial.summary()
+
+    def test_merge_into_empty_and_from_empty(self):
+        empty, full = SloHistogram("e"), SloHistogram("f")
+        full.observe(10.0)
+        empty.merge_state(full.state())
+        assert empty.summary() == full.summary()
+        full.merge_state(SloHistogram("z").state())  # no-op
+        assert full.count == 1
+
+    def test_merge_rejects_mismatched_bucket_layout(self):
+        slo = SloHistogram("lat")
+        bad = SloHistogram("lat").state()
+        bad["counts"] = bad["counts"][:-1]
+        with pytest.raises(ValueError):
+            slo.merge_state(bad)
+
+
+class TestRegistrySlo:
+    def test_get_or_create_identity_and_key_labels(self):
+        registry = MetricsRegistry()
+        a = registry.slo("kv.latency", shard=3)
+        b = registry.slo("kv.latency", shard=3)
+        assert a is b
+        assert a.key == "kv.latency{shard=3}"
+        assert registry.slo("kv.latency", shard=4) is not a
+
+    def test_snapshot_section_only_when_slos_exist(self):
+        registry = MetricsRegistry()
+        assert "slo" not in registry.snapshot()
+        registry.slo("kv.latency", shard=0).observe(5.0)
+        snapshot = registry.snapshot()
+        assert set(snapshot["slo"]) == {"kv.latency{shard=0}"}
+        assert snapshot["slo"]["kv.latency{shard=0}"]["count"] == 1.0
+
+    def test_dump_merge_round_trip(self):
+        source = MetricsRegistry()
+        source.counter("ops", kind="put").inc(3)
+        source.histogram("lat", op="get").observe(12.5)
+        for shard in (0, 1):
+            for v in (5.0, 9.0, 80.0):
+                source.slo("kv.latency", shard=shard).observe(v)
+        target = MetricsRegistry()
+        target.merge_dump(source.dump())
+        assert target.snapshot() == source.snapshot()
+
+    def test_worker_merge_matches_serial(self):
+        # The run_points contract: per-worker private registries merged
+        # in declared order must equal one registry observing serially.
+        serial = MetricsRegistry()
+        workers = [MetricsRegistry(), MetricsRegistry()]
+        batches = [[1.0, 64.0, 17.0], [2.0, 2048.0]]
+        for worker, batch in zip(workers, batches):
+            for v in batch:
+                worker.slo("kv.latency", shard=0).observe(v)
+                serial.slo("kv.latency", shard=0).observe(v)
+        merged = MetricsRegistry()
+        for worker in workers:
+            merged.merge_dump(worker.dump())
+        assert merged.snapshot() == serial.snapshot()
