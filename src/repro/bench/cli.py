@@ -54,6 +54,8 @@ from repro.bench.points import (
     fig6path_points,
     fig8live_params,
     fig8live_points,
+    figMclients_params,
+    figMclients_points,
     fig11_points,
     fig11_timings,
     fig11sweep_points,
@@ -73,7 +75,15 @@ from repro.workloads import WORKLOADS
 __all__ = ["main"]
 
 #: Figures the ``bench-smoke`` CI job pins against committed baselines.
-BASELINE_FIGURES = ("fig5", "fig5ablate", "fig6", "fig6path", "fig11", "fig11sweep")
+BASELINE_FIGURES = (
+    "fig5",
+    "fig5ablate",
+    "fig6",
+    "fig6path",
+    "fig11",
+    "fig11sweep",
+    "figMclients",
+)
 
 
 def _progress(key: str) -> None:
@@ -333,6 +343,80 @@ def cmd_fig8live(args, scale):
     }
 
 
+def cmd_figMclients(args, scale):
+    """Open-loop saturation sweep: a million-client population.
+
+    Sweeps the offered arrival rate from underload through the
+    saturation knee into firm overload against the sharded spec, driven
+    by the vectorized :class:`~repro.workloads.openloop.OpenLoopEngine`
+    (ROADMAP item 5: "heavy traffic from millions of users" as a
+    regression-gated artifact).  Gates: the population is at least one
+    million simulated clients, the underload point achieves its offered
+    rate without shedding, and the overload point sheds (admission
+    control working) while achieved throughput stays pinned at the
+    service's capacity rather than following the offered curve.
+    """
+    params = figMclients_params(args.smoke)
+    points = figMclients_points(scale, args.seed, args.smoke)
+    results = run_points(points, jobs=args.jobs, progress=_progress)
+    rows = []
+    for point in points:
+        cell = results[point.key]
+        shed_total = sum(cell["shed"].values())
+        p99s = "  ".join(
+            f"{shard} p99 {ops.get('read', ops.get('write', {})).get('p99', 0.0):7.0f}us"
+            for shard, ops in sorted(cell["slo"].items())
+        )
+        rows.append(
+            (
+                point.key,
+                f"offered {cell['offered_ops_per_sec']:9,.0f}  "
+                f"achieved {cell['achieved_ops_per_sec']:9,.0f} ops/s  "
+                f"shed {shed_total:6d}  err {cell['errors']:4d}  {p99s}",
+            )
+        )
+    print(kv_table("Figure Mclients: open-loop offered-load sweep", rows))
+    underload = results[points[0].key]
+    overload = results[points[-1].key]
+    if params["n_clients"] < 1_000_000:
+        print("WARNING: population below one million simulated clients",
+              file=sys.stderr)
+        args._failed = True
+    if sum(underload["shed"].values()) or (
+        underload["achieved_ops_per_sec"]
+        < 0.9 * underload["offered_ops_per_sec"]
+    ):
+        print("WARNING: the underload point shed or fell short of its "
+              "offered rate", file=sys.stderr)
+        args._failed = True
+    if not sum(overload["shed"].values()) or not (
+        overload["achieved_ops_per_sec"] < overload["offered_ops_per_sec"]
+    ):
+        print("WARNING: the overload point did not shed — admission "
+              "control is not engaging", file=sys.stderr)
+        args._failed = True
+    for point in points:
+        if not results[point.key]["slo"]:
+            print(f"WARNING: {point.key} recorded no SLO histograms",
+                  file=sys.stderr)
+            args._failed = True
+    return {
+        "simulated": {point.key: results[point.key] for point in points},
+        "params": {
+            "cores": 12,
+            "shards": params["shards"],
+            "workload": params["workload"],
+            "n_clients": params["n_clients"],
+            "base_ops_per_sec": params["base_ops_per_sec"],
+            "levels": params["levels"],
+            "max_inflight": params["max_inflight"],
+            "queue_limit": params["queue_limit"],
+            "throttle_ratio": params["throttle_ratio"],
+            "window_us": params["window_us"],
+        },
+    }
+
+
 def cmd_fig9(_args, _scale):
     costs = {p: relative_costs(p, 1) for p in ("aws", "gcp")}
     labels = list(costs["aws"])
@@ -472,6 +556,7 @@ COMMANDS = {
     "fig6path": cmd_fig6path,
     "fig8": cmd_fig8,
     "fig8live": cmd_fig8live,
+    "figMclients": cmd_figMclients,
     "fig9": cmd_fig9,
     "fig10": cmd_fig10,
     "fig11": cmd_fig11,

@@ -382,6 +382,106 @@ def _coalesced_fig5_section(repeat: int, log) -> Dict[str, object]:
     return section
 
 
+# -- open-loop arrival generation vs per-client scalar loop ------------------
+
+OPENLOOP_SHARDS = 2
+OPENLOOP_WINDOW = 4_096
+OPENLOOP_POPULATION = 1_000_000
+
+
+def _openloop_generators():
+    """Two :class:`ArrivalGenerator` instances on identical seeds.
+
+    Both draw from the same named RNG streams, so the vectorized batch
+    path and the scalar per-op path (what a closed-loop client pool
+    performs per operation: one Zipf CDF inversion, one coin flip, one
+    client draw, one key render + SHA-1 ring walk) must produce
+    identical columns — "equal simulated results".
+    """
+    from repro.shard.hashing import HashRing
+    from repro.workloads.generator import StripedZipfSampler
+    from repro.workloads.openloop import ArrivalGenerator
+
+    def build():
+        sim = engine.Simulator()
+        fabric = Fabric(sim, rng=RngStreams(seed=1))
+        ring = HashRing([f"shard{i}" for i in range(OPENLOOP_SHARDS)])
+        sampler = StripedZipfSampler(SMOKE_SCALE.keys, ring)
+        generator = ArrivalGenerator(
+            fabric,
+            WORKLOADS["read-heavy"],
+            sampler,
+            n_clients=OPENLOOP_POPULATION,
+            n_shards=OPENLOOP_SHARDS,
+        )
+        return generator, ring
+
+    return build
+
+
+def _openloop_generator_section(arrivals: int, repeat: int, log) -> Dict[str, object]:
+    """Arrival-generation throughput: vectorized batches vs scalar loop.
+
+    The scalar side charges exactly the per-op work of today's
+    closed-loop pool inner loop (``ZipfSampler.sample`` + coin + ring
+    walk); the vectorized side is the open-loop engine's per-window
+    batch.  Column equality is asserted outside the timed region, so
+    the ratio compares equal work, not approximately-similar work.
+    """
+    import numpy as np
+
+    build = _openloop_generators()
+    windows = max(1, arrivals // OPENLOOP_WINDOW)
+    count = windows * OPENLOOP_WINDOW
+
+    # Equality check (untimed): the two paths draw identical columns.
+    vector_gen, _ = build()
+    scalar_gen, ring = build()
+    probe = min(OPENLOOP_WINDOW, count)
+    vector_batch = vector_gen.batch(probe)
+    scalar_batch = scalar_gen.scalar_batch(probe, ring=ring)
+    identical = all(
+        np.array_equal(a, b) for a, b in zip(vector_batch, scalar_batch)
+    )
+    if not identical:
+        raise AssertionError(
+            "vectorized and scalar arrival columns disagree on equal seeds"
+        )
+
+    # Timed region: generation only.  The generators are built once —
+    # consuming further along the same streams costs the same per draw,
+    # and sampler construction is figure *setup*, not arrival throughput.
+    def vector_run() -> int:
+        for _ in range(windows):
+            vector_gen.batch(OPENLOOP_WINDOW)
+        return count
+
+    def scalar_run() -> int:
+        for _ in range(windows):
+            scalar_gen.scalar_batch(OPENLOOP_WINDOW, ring=ring)
+        return count
+
+    vector = _timed(vector_run, repeat)
+    scalar = _timed(scalar_run, repeat)
+    section = {
+        "arrivals": count,
+        "window": OPENLOOP_WINDOW,
+        "shards": OPENLOOP_SHARDS,
+        "clients_population": OPENLOOP_POPULATION,
+        "vector_wall_s": vector["wall_s"],
+        "scalar_wall_s": scalar["wall_s"],
+        "vector_arrivals_per_s": vector["per_s"],
+        "scalar_arrivals_per_s": scalar["per_s"],
+        "generation_speedup": scalar["wall_s"] / vector["wall_s"],
+        "columns_identical": identical,
+    }
+    log(
+        f"openloop generator: {vector['per_s']:,.0f} arrivals/s vectorized "
+        f"({section['generation_speedup']:.1f}x the scalar per-client loop)"
+    )
+    return section
+
+
 # -- parallel sweep scaling --------------------------------------------------
 
 
@@ -472,6 +572,7 @@ def run_perfbench(
     events: int = 200_000,
     rdma_verbs: int = 5_000,
     repeat: int = 3,
+    arrivals: int = 100_000,
     log: Callable[[str], None] = lambda line: print(line, file=sys.stderr),
 ) -> Dict[str, object]:
     """Run every section; returns the artifact's results dict."""
@@ -486,6 +587,9 @@ def run_perfbench(
     log(f"rdma loopback: {timing['per_s']:,.0f} verbs/s")
     results["fig5_smoke"] = _fig5_section(repeat, log)
     results["coalesced_fig5"] = _coalesced_fig5_section(repeat, log)
+    results["openloop_generator"] = _openloop_generator_section(
+        arrivals, repeat, log
+    )
     results["parallel_sweep"] = _parallel_section(log)
     return results
 
@@ -503,6 +607,8 @@ def main(argv=None) -> int:
                         help="verb pairs for the RDMA loopback benchmark")
     parser.add_argument("--repeat", type=int, default=3,
                         help="repetitions per measurement (best-of)")
+    parser.add_argument("--arrivals", type=int, default=100_000,
+                        help="arrivals for the open-loop generator benchmark")
     parser.add_argument("--quick", action="store_true",
                         help="CI sizing: fewer events, single repetition")
     parser.add_argument("--gate", action="store_true",
@@ -515,6 +621,7 @@ def main(argv=None) -> int:
     if args.quick:
         args.events = min(args.events, 50_000)
         args.rdma_verbs = min(args.rdma_verbs, 2_000)
+        args.arrivals = min(args.arrivals, 32_768)
         args.repeat = 1
     if args.gate:
         # Ratios from a single repetition are too noisy to gate on
@@ -523,7 +630,8 @@ def main(argv=None) -> int:
         floors = load_floors(Path(args.floors) if args.floors else None)
 
     results = run_perfbench(
-        events=args.events, rdma_verbs=args.rdma_verbs, repeat=args.repeat
+        events=args.events, rdma_verbs=args.rdma_verbs, repeat=args.repeat,
+        arrivals=args.arrivals,
     )
     engine_rows = [
         (f"engine/{name}",
@@ -532,6 +640,7 @@ def main(argv=None) -> int:
     ]
     fig5 = results["fig5_smoke"]
     coalesced = results["coalesced_fig5"]
+    openloop = results["openloop_generator"]
     sweep = results["parallel_sweep"]
     print(kv_table(
         "perfbench: wall-clock rates (fast engine, speedup vs reference)",
@@ -544,6 +653,9 @@ def main(argv=None) -> int:
             ("coalesced fig5 point",
              f"{coalesced['simulated_speedup']:.2f}x simulated, "
              f"{coalesced['driven_speedup']:.2f}x driven"),
+            ("openloop generator",
+             f"{openloop['vector_arrivals_per_s']:,.0f} arrivals/s, "
+             f"{openloop['generation_speedup']:.1f}x scalar loop"),
             ("sweep jobs=2 vs jobs=1", f"{sweep['scaling']:.2f}x"),
         ],
     ))
@@ -555,6 +667,7 @@ def main(argv=None) -> int:
             "events": args.events,
             "rdma_verbs": args.rdma_verbs,
             "repeat": args.repeat,
+            "arrivals": args.arrivals,
             "scale": "smoke",
         },
     )

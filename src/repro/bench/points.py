@@ -17,7 +17,12 @@ from typing import List
 from repro.api import system_spec
 from repro.bench.calibration import BenchScale
 from repro.bench.parallel import Point
-from repro.bench.runner import run_latency, run_throughput, run_timeline
+from repro.bench.runner import (
+    run_latency,
+    run_openloop,
+    run_throughput,
+    run_timeline,
+)
 from repro.bench.systems import sift_spec
 from repro.chaos import FaultSchedule
 from repro.obs.critpath import critical_path_section
@@ -40,6 +45,9 @@ __all__ = [
     "fig6path_points",
     "fig8live_params",
     "fig8live_points",
+    "figMclients_params",
+    "figMclients_points",
+    "openloop_point",
     "fig11_points",
     "fig11_timings",
     "fig11sweep_points",
@@ -528,6 +536,124 @@ def fig8live_points(
                     "faults": shards + 1,
                     "fault_gap_us": params["fault_gap_us"],
                     "repetitions": params["repetitions"],
+                    "scale": scale,
+                    "seed": seed,
+                },
+            )
+        )
+    return points
+
+
+def openloop_point(
+    shards: int,
+    workload: str,
+    offered_ops_per_sec: float,
+    n_clients: int,
+    max_inflight: int,
+    queue_limit: int,
+    rate_ops_per_sec,
+    window_us: float,
+    scale: BenchScale,
+    seed: int,
+) -> dict:
+    """One figMclients cell: open-loop arrivals at one offered rate.
+
+    Runs the sharded spec under the vectorized
+    :class:`~repro.workloads.openloop.OpenLoopEngine` — an
+    *n_clients*-strong simulated population whose aggregate arrivals
+    form a Poisson process at *offered_ops_per_sec* — and returns the
+    offered-vs-achieved accounting plus the per-shard p50/p99/p99.9
+    SLO summaries.
+    """
+    from repro.workloads.openloop import AdmissionControl
+
+    spec = build_spec("sharded", scale, cores=12, shards=shards)
+    result = run_openloop(
+        spec,
+        WORKLOADS[workload],
+        offered_ops_per_sec=offered_ops_per_sec,
+        n_clients=n_clients,
+        scale=scale,
+        seed=seed,
+        window_us=window_us,
+        admission=AdmissionControl(
+            max_inflight=max_inflight,
+            queue_limit=queue_limit,
+            rate_ops_per_sec=rate_ops_per_sec,
+        ),
+    )
+    return {
+        "offered_ops_per_sec": result.offered_ops_per_sec,
+        "achieved_ops_per_sec": result.achieved_ops_per_sec,
+        "generated": result.generated,
+        "admitted": result.admitted,
+        "completed": result.completed,
+        "errors": result.errors,
+        "retries": result.retries,
+        "shed": result.shed,
+        "clients_active": result.clients_active,
+        "clients_population": result.clients_population,
+        "inflight_peaks": result.inflight_peaks,
+        "slo": result.slo,
+    }
+
+
+def figMclients_params(smoke: bool) -> dict:
+    """The figMclients sweep preset.
+
+    ``base_ops_per_sec`` is the (empirically calibrated) saturation
+    throughput of the sharded smoke spec under the default in-flight
+    window; the swept multipliers take the service from comfortable
+    underload through the knee into firm overload, where the
+    token-bucket throttle (pinned at ``throttle_ratio`` x base) and the
+    bounded per-shard queues both shed.  The population is what the
+    north-star asks for: at least a million simulated clients.
+    """
+    if smoke:
+        return dict(
+            shards=2,
+            workload="read-heavy",
+            n_clients=1_000_000,
+            base_ops_per_sec=600_000.0,
+            levels=[["x0.25", 0.25], ["x0.75", 0.75], ["x1.0", 1.0], ["x1.5", 1.5]],
+            max_inflight=16,
+            queue_limit=512,
+            throttle_ratio=1.2,
+            window_us=1 * MS,
+        )
+    return dict(
+        shards=2,
+        workload="read-heavy",
+        n_clients=2_000_000,
+        base_ops_per_sec=600_000.0,
+        levels=[["x0.25", 0.25], ["x0.75", 0.75], ["x1.0", 1.0], ["x1.5", 1.5]],
+        max_inflight=16,
+        queue_limit=512,
+        throttle_ratio=1.2,
+        window_us=1 * MS,
+    )
+
+
+def figMclients_points(scale: BenchScale, seed: int, smoke: bool) -> List[Point]:
+    """One point per offered-load level, underload first."""
+    params = figMclients_params(smoke)
+    points = []
+    for label, multiplier in params["levels"]:
+        points.append(
+            Point(
+                key=f"sharded/{label}",
+                fn=openloop_point,
+                kwargs={
+                    "shards": params["shards"],
+                    "workload": params["workload"],
+                    "offered_ops_per_sec": params["base_ops_per_sec"] * multiplier,
+                    "n_clients": params["n_clients"],
+                    "max_inflight": params["max_inflight"],
+                    "queue_limit": params["queue_limit"],
+                    "rate_ops_per_sec": (
+                        params["base_ops_per_sec"] * params["throttle_ratio"]
+                    ),
+                    "window_us": params["window_us"],
                     "scale": scale,
                     "seed": seed,
                 },

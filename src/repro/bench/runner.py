@@ -27,17 +27,26 @@ from repro.obs.publish import publish_run
 from repro.obs.trace import Tracer, set_tracer
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
-from repro.sim.units import SEC
+from repro.sim.units import MS, SEC
 from repro.workloads.clients import ClientPool
-from repro.workloads.generator import WorkloadMix, ZipfSampler, KeySampler
+from repro.workloads.generator import (
+    KeySampler,
+    StripedZipfSampler,
+    WorkloadMix,
+    ZipfSampler,
+)
+from repro.workloads.openloop import AdmissionControl, OpenLoopEngine
+from repro.workloads.retry import RetryPolicy
 
 __all__ = [
     "ThroughputResult",
     "LatencyResult",
     "TimelineResult",
+    "OpenLoopResult",
     "run_throughput",
     "run_latency",
     "run_timeline",
+    "run_openloop",
     "SIMULATOR_FACTORY",
 ]
 
@@ -67,6 +76,24 @@ class LatencyResult(NamedTuple):
     write_p50: Optional[float]
     write_p95: Optional[float]
     ops_per_sec: float
+
+
+class OpenLoopResult(NamedTuple):
+    """One figMclients data point: an offered-load level on one spec."""
+
+    system: str
+    offered_ops_per_sec: float  #: configured arrival rate
+    achieved_ops_per_sec: float  #: completions over the measured window
+    generated: int  #: arrivals drawn (the realised offered load)
+    admitted: int  #: arrivals that made it into a shard queue
+    completed: int
+    errors: int
+    retries: int
+    shed: dict  #: {reason: count} — "throttle" and "queue"
+    clients_active: int  #: distinct simulated clients that issued an op
+    clients_population: int
+    inflight_peaks: dict  #: {shard: peak concurrently issued ops}
+    slo: dict  #: {shard: {op: p50/p99/p99.9 summary}}
 
 
 class TimelineResult(NamedTuple):
@@ -263,4 +290,82 @@ def run_timeline(
     rebased = [(t - base / 1e6, ops) for t, ops in series]
     return TimelineResult(
         system=spec.name, series=rebased, events=injected, base_us=base
+    )
+
+
+def run_openloop(
+    spec: SystemSpec,
+    mix: WorkloadMix,
+    offered_ops_per_sec: float,
+    n_clients: int,
+    scale: BenchScale = DEFAULT_SCALE,
+    seed: int = 1,
+    window_us: float = None,
+    admission: Optional[AdmissionControl] = None,
+    retry: Optional[RetryPolicy] = None,
+) -> OpenLoopResult:
+    """Open-loop arrivals at a fixed offered rate (figMclients).
+
+    Same build -> preload -> warmup -> measure flow as :func:`_drive`,
+    but the load comes from :class:`~repro.workloads.openloop.
+    OpenLoopEngine` — vectorized Poisson arrival windows over an
+    *n_clients*-strong simulated population — instead of closed-loop
+    client coroutines.  Sharded clusters get a
+    :class:`StripedZipfSampler` over the service ring so each arrival's
+    shard is one vectorized modulo; anything else runs single-lane with
+    the plain Zipf sampler.
+    """
+    if window_us is None:
+        window_us = 1 * MS
+    sim, fabric, cluster = _setup(spec, scale, seed)
+    ring = getattr(cluster, "ring", None)
+    if getattr(cluster, "groups", None) and ring is not None:
+        sampler = StripedZipfSampler(scale.keys, ring, scale.zipf_theta)
+    else:
+        sampler = ZipfSampler(scale.keys, scale.zipf_theta)
+    engine = OpenLoopEngine(
+        fabric,
+        cluster,
+        mix,
+        sampler,
+        offered_ops_per_sec=offered_ops_per_sec,
+        n_clients=n_clients,
+        window_us=window_us,
+        admission=admission,
+        retry=retry,
+        value_bytes=scale.value_bytes,
+    )
+
+    ready = sim.spawn(spec.wait_ready(cluster), name="wait-ready")
+    ready.add_callback(lambda _ev: None)  # we inspect the outcome below
+    sim.run_until_settled(ready, deadline=5 * SEC)
+    if not ready.ok:
+        raise RuntimeError(f"{spec.name} never became ready: {ready.exception}")
+    # Preload the *sampler's* keys: a striped sampler renders different
+    # wire keys than the plain preload set, and reads must hit.
+    value = b"v" * scale.value_bytes
+    spec.preload(cluster, ((sampler.key(i), value) for i in range(scale.keys)))
+    engine.start()
+    sim.run(until=sim.now + scale.warmup_us)
+    engine.begin_measurement()
+    sim.run(until=sim.now + scale.measure_us)
+    engine.end_measurement()
+    engine.stop()
+    if obs_state.REGISTRY is not None:
+        engine.publish(obs_state.REGISTRY)
+        publish_run(obs_state.REGISTRY, fabric, cluster)
+    return OpenLoopResult(
+        system=spec.name,
+        offered_ops_per_sec=offered_ops_per_sec,
+        achieved_ops_per_sec=engine.achieved_ops_per_sec(),
+        generated=engine.counts["offered"],
+        admitted=engine.counts["admitted"],
+        completed=engine.counts["completed"],
+        errors=engine.counts["errors"],
+        retries=engine.counts["retries"],
+        shed=dict(engine.shed),
+        clients_active=engine.clients_active,
+        clients_population=engine.generator.n_clients,
+        inflight_peaks=engine.inflight_peaks(),
+        slo=engine.slo_summary(),
     )

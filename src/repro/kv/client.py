@@ -69,7 +69,13 @@ class KvClient:
         self.retry_backoff_us = retry_backoff_us
         self._preferred: Optional[int] = None
         self._order_cache: dict = {}  # preferred index -> probe order tuple
-        self.stats = {"requests": 0, "retries": 0, "failures": 0}
+        self.stats = {
+            "requests": 0,
+            "retries": 0,
+            "failures": 0,
+            "inflight": 0,
+            "inflight_peak": 0,
+        }
 
     def prefer(self, index: int) -> None:
         """Seed the preferred-CPU-node cache (modulo the group size)."""
@@ -119,29 +125,42 @@ class KvClient:
         return endpoints
 
     def _call(self, method: str, payload: Any, payload_bytes: int):
-        self.stats["requests"] += 1
-        last_error: Optional[BaseException] = None
-        for round_number in range(self.max_rounds):
-            endpoints = self._endpoints()
-            if not endpoints:
-                yield self.host.sim.timeout(self.retry_backoff_us)
-                continue
-            for index, endpoint in endpoints:
-                event = self.rpc.call(
-                    endpoint,
-                    method,
-                    payload,
-                    payload_bytes=payload_bytes,
-                    timeout_us=self.request_timeout_us,
-                )
-                try:
-                    reply: Tuple[str, Any] = yield event
-                except Exception as exc:  # timeout, unreachable, handler error
-                    last_error = exc
-                    self.stats["retries"] += 1
+        stats = self.stats
+        stats["requests"] += 1
+        # In-flight window accounting: the bounded-dispatch load engines
+        # (open-loop lanes, the chaos clients) cap concurrency above this
+        # layer; the counter lets tests and routers *verify* the bound at
+        # the client, with no yields or randomness added to the call.
+        stats["inflight"] += 1
+        if stats["inflight"] > stats["inflight_peak"]:
+            stats["inflight_peak"] = stats["inflight"]
+        try:
+            last_error: Optional[BaseException] = None
+            for round_number in range(self.max_rounds):
+                endpoints = self._endpoints()
+                if not endpoints:
+                    yield self.host.sim.timeout(self.retry_backoff_us)
                     continue
-                self._preferred = index
-                return reply
-            yield self.host.sim.timeout(self.retry_backoff_us)
-        self.stats["failures"] += 1
-        raise KvRequestFailed(f"{method} failed after {self.max_rounds} rounds: {last_error}")
+                for index, endpoint in endpoints:
+                    event = self.rpc.call(
+                        endpoint,
+                        method,
+                        payload,
+                        payload_bytes=payload_bytes,
+                        timeout_us=self.request_timeout_us,
+                    )
+                    try:
+                        reply: Tuple[str, Any] = yield event
+                    except Exception as exc:  # timeout, unreachable, handler error
+                        last_error = exc
+                        stats["retries"] += 1
+                        continue
+                    self._preferred = index
+                    return reply
+                yield self.host.sim.timeout(self.retry_backoff_us)
+            stats["failures"] += 1
+            raise KvRequestFailed(
+                f"{method} failed after {self.max_rounds} rounds: {last_error}"
+            )
+        finally:
+            stats["inflight"] -= 1

@@ -14,6 +14,8 @@ import bisect
 import hashlib
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["HashRing"]
 
 
@@ -39,6 +41,14 @@ class HashRing:
         points.sort()
         self._points = [p for p, _ in points]
         self._owners = [owner for _, owner in points]
+        # Vectorized-lookup mirrors of the same sorted ring, with one
+        # extra trailing slot so the wrap-around maps to owner 0's point.
+        self._points_array = np.array(self._points, dtype=np.uint64)
+        shard_index = {name: i for i, name in enumerate(self.shards)}
+        self._owner_ids = np.array(
+            [shard_index[owner] for owner in self._owners] + [shard_index[self._owners[0]]],
+            dtype=np.int64,
+        )
 
     def shard_for(self, key: bytes) -> str:
         """The shard owning *key*: first ring point at or after its hash."""
@@ -46,6 +56,32 @@ class HashRing:
         if index == len(self._points):
             index = 0  # wrap around
         return self._owners[index]
+
+    def shard_index_batch(self, keys: Sequence[bytes]) -> np.ndarray:
+        """Vectorized :meth:`shard_for` over many keys at once.
+
+        Returns each key's owner as an index into :attr:`shards`.  The
+        SHA-1 per key is irreducible (hashlib has no batch API), but the
+        digests are folded into one buffer and the ring walk — the
+        ``bisect`` plus two list lookups that dominate the scalar call —
+        becomes a single ``np.searchsorted``.  Placement is identical to
+        :meth:`shard_for` key for key (pinned by ``tests/test_shard.py``).
+        """
+        if not len(keys):
+            return np.empty(0, dtype=np.int64)
+        sha1 = hashlib.sha1
+        raw = b"".join([sha1(key).digest() for key in keys])
+        hashes = (
+            np.frombuffer(raw, dtype=np.uint8)
+            .reshape(-1, 20)[:, :8]
+            .copy()
+            .view(">u8")
+            .ravel()
+        )
+        # bisect_left == searchsorted side="left"; the appended owner
+        # slot makes index == len(points) resolve to the wrap-around.
+        indexes = np.searchsorted(self._points_array, hashes, side="left")
+        return self._owner_ids[indexes]
 
     def spread(self, keys: Sequence[bytes]) -> Dict[str, int]:
         """How many of *keys* each shard owns (diagnostics / tests)."""

@@ -114,12 +114,25 @@ class ShardRouter:
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Aggregated per-shard client stats."""
-        totals = {"requests": 0, "retries": 0, "failures": 0}
+        """Aggregated per-shard client stats.
+
+        Counters sum exactly; ``inflight`` is the router's live total,
+        and ``inflight_peak`` sums per-shard peaks (an upper bound on
+        the router-wide peak — the per-shard bound is what the dispatch
+        windows actually enforce; see :meth:`inflight_peaks`).
+        """
+        totals: Dict[str, int] = {}
         for client in self.clients.values():
             for field, value in client.stats.items():
-                totals[field] += value
+                totals[field] = totals.get(field, 0) + value
         return totals
+
+    def inflight_peaks(self) -> Dict[str, int]:
+        """Peak concurrently issued ops per shard (bounded-dispatch hook)."""
+        return {
+            shard: client.stats["inflight_peak"]
+            for shard, client in self.clients.items()
+        }
 
     def __repr__(self) -> str:
         return f"<ShardRouter {self.host.name} -> {len(self.clients)} shards>"

@@ -2,7 +2,9 @@
 
 Four workload mixes — write-only, mixed (50/50), read-heavy (90/10) and
 read-only — over a Zipfian (theta = 0.99) or uniform key popularity
-distribution, driven by pools of closed-loop clients.
+distribution, driven either by pools of closed-loop clients
+(:class:`ClientPool`) or by the vectorized open-loop arrival engine
+(:class:`OpenLoopEngine`, millions of simulated clients per run).
 """
 
 from repro.workloads.clients import ClientPool
@@ -13,14 +15,38 @@ from repro.workloads.generator import (
     UniformSampler,
     WorkloadMix,
     ZipfSampler,
+    flip_batch,
+    uniform_batch,
 )
+from repro.workloads.openloop import (
+    AdmissionControl,
+    ArrivalBatch,
+    ArrivalGenerator,
+    OpenLoopEngine,
+    ShardLane,
+    TokenBucket,
+    poisson_count,
+)
+from repro.workloads.retry import DEFAULT_RETRY_POLICY, RetryOutcome, RetryPolicy
 
 __all__ = [
+    "AdmissionControl",
+    "ArrivalBatch",
+    "ArrivalGenerator",
     "ClientPool",
+    "DEFAULT_RETRY_POLICY",
     "KeySampler",
+    "OpenLoopEngine",
+    "RetryOutcome",
+    "RetryPolicy",
+    "ShardLane",
     "StripedZipfSampler",
+    "TokenBucket",
     "UniformSampler",
     "WORKLOADS",
     "WorkloadMix",
     "ZipfSampler",
+    "flip_batch",
+    "poisson_count",
+    "uniform_batch",
 ]

@@ -4,6 +4,13 @@ Each client host runs one loop: draw a key from the popularity
 distribution, flip the read/write coin, issue the op, record the
 completion, repeat.  Throughput is controlled by the number of clients
 (closed-loop load generation, as in the paper's client processes).
+
+Failures route through the same :class:`~repro.workloads.retry.
+RetryPolicy` the open-loop engine uses: retryable errors back off and
+try again (the latency sample then spans the whole logical operation),
+non-retryable errors — and exhausted budgets — count one error.  The
+success path is untouched (no extra yields, no extra randomness), so
+runs without failures are byte-identical to the pre-policy pool.
 """
 
 from __future__ import annotations
@@ -14,9 +21,10 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 if TYPE_CHECKING:  # only for annotations; importing repro.bench here
     from repro.bench.metrics import Metrics  # would be circular
 
-from repro.kv.client import KvClient, KvRequestFailed
+from repro.kv.client import KvClient
 from repro.net.fabric import Fabric
 from repro.workloads.generator import KeySampler, WorkloadMix
+from repro.workloads.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = ["ClientPool"]
 
@@ -35,6 +43,7 @@ class ClientPool:
         value_bytes: int = 992,
         name: str = "clients",
         client_factory: Optional[Callable] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.fabric = fabric
         self.cluster = cluster
@@ -45,26 +54,24 @@ class ClientPool:
         self.value_bytes = value_bytes
         self.name = name
         self.client_factory = client_factory or KvClient
+        self.retry = retry or DEFAULT_RETRY_POLICY
         self.running = False
+        self.retries = 0  #: tries beyond the first, across all clients
         self._value = b"v" * value_bytes
         self._clients: List[KvClient] = []
 
     def start(self) -> None:
         """Spawn every client loop."""
         self.running = True
-        n_targets = max(1, len(getattr(self.cluster, "cpu_nodes", []) or [1]))
         for index in range(self.n_clients):
             host = self.fabric.add_host(f"{self.name}-{index}", cores=2)
             client = self.client_factory(host, self.fabric, self.cluster)
             # Spread clients across serving nodes; leader-based systems
             # converge onto the leader after one retry, while EPaxos keeps
             # its clients "evenly distributed across the nodes" (§6.3.2).
-            # KvClient.prefer computes the same index as the legacy
-            # direct assignment; ShardRouter fans it out per shard.
+            # Clients without a prefer hook balance themselves.
             if hasattr(client, "prefer"):
                 client.prefer(index)
-            else:
-                client._preferred = index % n_targets
             self._clients.append(client)
             rng = self.fabric.rng.stream(f"{self.name}:{index}")
             host.spawn(self._loop(client, rng), name=f"{self.name}-{index}")
@@ -79,12 +86,15 @@ class ClientPool:
             key = self.sampler.key(self.sampler.sample(rng))
             is_write = rng.random() < self.mix.write_fraction
             start = sim.now
-            try:
-                if is_write:
-                    yield from client.put(key, self._value)
-                    self.metrics.record("write", start, sim.now)
-                else:
-                    yield from client.get(key)
-                    self.metrics.record("read", start, sim.now)
-            except KvRequestFailed:
+            if is_write:
+                attempt = lambda: client.put(key, self._value)
+                op = "write"
+            else:
+                attempt = lambda: client.get(key)
+                op = "read"
+            outcome = yield from self.retry.execute(sim, attempt)
+            self.retries += outcome.retries
+            if outcome.ok:
+                self.metrics.record(op, start, sim.now)
+            else:
                 self.metrics.record_error()

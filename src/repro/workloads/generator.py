@@ -19,7 +19,40 @@ __all__ = [
     "ZipfSampler",
     "StripedZipfSampler",
     "UniformSampler",
+    "uniform_batch",
+    "flip_batch",
 ]
+
+#: genrand_res53 constants (CPython ``random.random``): a 53-bit double
+#: from two consecutive 32-bit Mersenne Twister words.
+_RES53_HI = 67108864.0  # 2**26
+_RES53_SCALE = 1.0 / 9007199254740992.0  # 2**-53
+
+
+def uniform_batch(rng: random.Random, n: int) -> np.ndarray:
+    """*n* uniforms from *rng*, bit-identical to ``rng.random()`` calls.
+
+    CPython's ``random()`` is ``genrand_res53``: it folds two
+    consecutive 32-bit Mersenne Twister words into one double.
+    ``getrandbits(32 * m)`` emits those same words packed little-endian
+    into one int, so one bulk draw plus a vectorized fold reproduces the
+    scalar stream exactly — ``uniform_batch(rng, n)`` consumes the same
+    generator state and returns the same values as ``[rng.random() for
+    _ in range(n)]``, at a tiny fraction of the cost.  Interleaving
+    batch and scalar draws on one stream therefore stays aligned.
+    """
+    if n <= 0:
+        return np.empty(0, dtype=np.float64)
+    raw = rng.getrandbits(64 * n).to_bytes(8 * n, "little")
+    words = np.frombuffer(raw, dtype="<u4")
+    a = words[0::2] >> np.uint32(5)
+    b = words[1::2] >> np.uint32(6)
+    return (a * _RES53_HI + b) * _RES53_SCALE
+
+
+def flip_batch(rng: random.Random, n: int, fraction: float) -> np.ndarray:
+    """*n* coin flips, equivalent to ``rng.random() < fraction`` calls."""
+    return uniform_batch(rng, n) < fraction
 
 
 class WorkloadMix(NamedTuple):
@@ -47,6 +80,20 @@ class KeySampler:
 
     def sample(self, rng: random.Random) -> int:
         raise NotImplementedError
+
+    def sample_batch(self, rng: random.Random, n: int) -> np.ndarray:
+        """*n* key indices as an int64 array.
+
+        Contract (pinned by ``tests/test_openloop.py``): drawing a batch
+        consumes *rng* exactly as *n* :meth:`sample` calls would and
+        returns the same indices — the open-loop engine and the scalar
+        closed-loop pool see identical key streams from identical seeds.
+        Subclasses with a vectorizable inverse override this; the base
+        implementation just loops.
+        """
+        return np.fromiter(
+            (self.sample(rng) for _ in range(n)), dtype=np.int64, count=n
+        )
 
     def key(self, index: int) -> bytes:
         """Render a key index as the wire key."""
@@ -79,6 +126,15 @@ class ZipfSampler(KeySampler):
     def sample(self, rng: random.Random) -> int:
         return int(np.searchsorted(self._cdf, rng.random(), side="right"))
 
+    def sample_batch(self, rng: random.Random, n: int) -> np.ndarray:
+        """*n* ranks through one CDF inversion (see :class:`KeySampler`).
+
+        :func:`uniform_batch` reproduces the exact ``rng.random()``
+        stream, and one ``np.searchsorted`` over the whole batch replaces
+        the per-op scalar call — the hot loop of the open-loop engine.
+        """
+        return np.searchsorted(self._cdf, uniform_batch(rng, n), side="right")
+
     def hot_fraction(self, top: int) -> float:
         """Probability mass of the *top* most popular keys."""
         if top <= 0:
@@ -103,17 +159,50 @@ class StripedZipfSampler(ZipfSampler):
         super().__init__(n_keys, theta=theta)
         self.ring = ring
         shards = ring.shards
-        keys = []
-        for rank in range(n_keys):
-            target = shards[rank % len(shards)]
-            nonce = 0
-            while True:
-                candidate = b"key%018d.%04d" % (rank, nonce)
-                if ring.shard_for(candidate) == target:
-                    break
-                nonce += 1
-            keys.append(candidate)
+        n_shards = len(shards)
+        # Batched nonce walk: instead of hashing one candidate at a time
+        # per rank (a python-level ring.shard_for call each), resolve
+        # every still-unplaced rank's nonce-k candidate in one vectorized
+        # ring lookup per nonce level.  Each rank still settles on the
+        # lowest nonce whose candidate lands on its target shard, so the
+        # key table is byte-identical to the scalar walk's.
+        keys: list = [None] * n_keys
+        # The rank half of every candidate is fixed; render it once per
+        # rank and per nonce level append the (shared) nonce suffix —
+        # the concatenation equals ``b"key%018d.%04d" % (rank, nonce)``
+        # byte for byte, so the table matches the old scalar walk's.
+        prefixes = [b"key%018d." % rank for rank in range(n_keys)]
+        pending = list(range(n_keys))
+        nonce = 0
+        while pending:
+            suffix = b"%04d" % nonce
+            candidates = [prefixes[rank] + suffix for rank in pending]
+            owners = ring.shard_index_batch(candidates).tolist()
+            unresolved = []
+            for rank, candidate, owner in zip(pending, candidates, owners):
+                if owner == rank % n_shards:
+                    keys[rank] = candidate
+                else:
+                    unresolved.append(rank)
+            pending = unresolved
+            nonce += 1
         self._keys = keys
 
     def key(self, index: int) -> bytes:
         return self._keys[index]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.ring.shards)
+
+    def shard_index_batch(self, ranks: np.ndarray) -> np.ndarray:
+        """Owning-shard index per rank, without touching the ring.
+
+        Rank *r*'s key provably lives on shard ``r % G`` (the striping
+        invariant above), so shard assignment over a whole arrival batch
+        is one vectorized modulo instead of a SHA-1 + ring walk per key.
+        """
+        return ranks % self.n_shards
+
+    def shard_name(self, index: int) -> str:
+        return self.ring.shards[index]

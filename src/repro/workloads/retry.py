@@ -1,0 +1,96 @@
+"""Client-side retry policy: capped exponential backoff.
+
+Both load generators — the closed-loop :class:`ClientPool` and the
+open-loop engine — fail the same way: an operation raises a
+:class:`~repro.errors.ReproError` subclass whose ``retryable`` flag
+says whether trying again can possibly help.  :class:`RetryPolicy`
+centralises that decision: retryable errors are retried up to a cap
+with exponentially growing (capped) backoff, non-retryable errors fail
+the operation immediately, and anything that is not a ``ReproError``
+propagates — it is a bug, not a service condition.
+
+The success path adds **zero** simulator yields and zero RNG draws on
+top of the attempted operation itself, so routing a generator's ops
+through a policy leaves a run with no failures byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, NamedTuple, Optional
+
+from repro.errors import ReproError
+from repro.sim.units import MS
+
+__all__ = ["RetryOutcome", "RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+class RetryOutcome(NamedTuple):
+    """What became of one logical operation after retries."""
+
+    ok: bool
+    value: Any
+    attempts: int  #: total tries made (1 = first attempt succeeded)
+    error: Optional[BaseException]  #: the final error when ``not ok``
+
+    @property
+    def retries(self) -> int:
+        """Tries beyond the first — what the retry counters report."""
+        return self.attempts - 1
+
+
+class RetryPolicy:
+    """Capped exponential backoff over ``ReproError.retryable`` failures."""
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_backoff_us: float = 1 * MS,
+        multiplier: float = 2.0,
+        cap_us: float = 20 * MS,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"need at least one attempt, got {max_attempts}")
+        if base_backoff_us < 0 or cap_us < 0:
+            raise ValueError("backoff durations must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        self.max_attempts = max_attempts
+        self.base_backoff_us = base_backoff_us
+        self.multiplier = multiplier
+        self.cap_us = cap_us
+
+    def backoff_us(self, failures: int) -> float:
+        """Backoff after the *failures*-th consecutive failure (1-based)."""
+        if failures < 1:
+            return 0.0
+        return min(self.cap_us, self.base_backoff_us * self.multiplier ** (failures - 1))
+
+    def execute(self, sim, attempt: Callable[[], Any]):
+        """Process: run ``attempt()`` (a generator factory) with retries.
+
+        Returns a :class:`RetryOutcome`; never raises for ``ReproError``
+        failures.  A non-retryable error or an exhausted budget produces
+        ``ok=False`` with the final error attached.
+        """
+        error: Optional[ReproError] = None
+        for attempt_number in range(1, self.max_attempts + 1):
+            try:
+                value = yield from attempt()
+            except ReproError as exc:
+                error = exc
+                if not exc.retryable or attempt_number == self.max_attempts:
+                    return RetryOutcome(False, None, attempt_number, exc)
+                yield sim.timeout(self.backoff_us(attempt_number))
+            else:
+                return RetryOutcome(True, value, attempt_number, None)
+        return RetryOutcome(False, None, self.max_attempts, error)  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return (
+            f"<RetryPolicy attempts={self.max_attempts} "
+            f"base={self.base_backoff_us}us x{self.multiplier} cap={self.cap_us}us>"
+        )
+
+
+#: Shared default: 4 attempts, 1 ms doubling to a 20 ms cap.
+DEFAULT_RETRY_POLICY = RetryPolicy()

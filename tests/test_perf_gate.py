@@ -30,6 +30,11 @@ CANNED_RESULTS = {
         "simulated_speedup": 1.27,
         "driven_speedup": 1.5,
     },
+    "openloop_generator": {
+        "generation_speedup": 16.0,
+        "vector_arrivals_per_s": 6_500_000.0,
+        "columns_identical": True,
+    },
     "parallel_sweep": {"scaling": 1.0},
 }
 

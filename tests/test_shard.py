@@ -78,6 +78,20 @@ class TestHashRing:
         with pytest.raises(ValueError):
             HashRing(["a", "a"])
 
+    def test_shard_index_batch_matches_shard_for(self):
+        """The vectorized lookup (joined SHA-1 digests, one
+        searchsorted) agrees with the scalar ring walk key by key."""
+        ring = HashRing([f"s{i}" for i in range(5)])
+        keys = [b"key%018d.%04d" % (i, i % 7) for i in range(1000)]
+        owners = ring.shard_index_batch(keys)
+        assert [ring.shards[i] for i in owners] == [
+            ring.shard_for(k) for k in keys
+        ]
+
+    def test_shard_index_batch_empty(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring.shard_index_batch([])) == 0
+
 
 class TestRouting:
     def test_router_sends_each_key_to_its_ring_shard(self):
