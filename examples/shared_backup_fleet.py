@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Shared backup CPU nodes across consensus groups (§5.2).
+"""Shared backup CPU nodes across consensus groups (§5.2) + elasticity.
 
 Builds the sharded KV service through the :mod:`repro.api` façade:
 several single-CPU-node Sift groups behind a consistent-hash router,
@@ -8,6 +8,12 @@ the pool monitor detects the silent heartbeats and promotes an idle
 backup into the group, which campaigns, recovers, and resumes service —
 G + B CPU nodes instead of (F + 1) x G.
 
+The second act is elastic: ``cluster.scale(shards=...)`` live-splits a
+hot shard onto a new group (copy, mirror, cutover, forwarding window)
+and every key written before the split reads back afterwards.  All
+placement facts come from ``cluster.topology()`` snapshots — no
+reaching into the service object.
+
 Run:  python examples/shared_backup_fleet.py
 """
 
@@ -15,6 +21,16 @@ from repro.api import Cluster
 from repro.sim import SEC
 
 N_SHARDS = 3
+N_ITEMS = 12
+
+
+def describe(topo) -> str:
+    pool = topo.pool
+    return (
+        f"ring v{topo.ring_version}: {len(topo.shards)} shards, "
+        f"{int(pool.gauges['idle'])}/{int(pool.gauges['capacity'])} "
+        f"backups idle"
+    )
 
 
 def main() -> None:
@@ -30,28 +46,28 @@ def main() -> None:
 
     def scenario():
         yield from cluster.ready()
-        for index in range(12):
+        for index in range(N_ITEMS):
             yield from router.put(b"item:%d" % index, b"payload-%d" % index)
-        pool = service.pool
-        print(
-            f"{N_SHARDS} shards serving with 1 CPU node each"
-            f" + {pool.idle_backups} shared backups"
-        )
+        print(describe(cluster.topology()))
 
         probe = b"item:0"
         victim = service.shard_for(probe)
-        print(f"\nkilling the only CPU node of {victim} (owns {probe!r})...")
+        coordinator = cluster.topology().coordinator_of(victim)
+        print(f"\nkilling {coordinator}, the only CPU node of {victim}...")
         service.crash_coordinator(victim)
 
         # The pool monitor notices the dead shard and promotes a backup;
         # the router's retry loop rides out the failover transparently.
         value = yield from router.get(probe)
-        promo = pool.promotion_log[-1]
-        print(f"{victim} recovered via promotion of {promo.host}: get -> {value!r}")
-        print(f"promotions: {pool.promotions}, idle backups now: {pool.idle_backups}")
+        topo = cluster.topology()
+        print(
+            f"{victim} recovered via promotion of "
+            f"{topo.coordinator_of(victim)}: get -> {value!r}"
+        )
+        print(describe(topo))
 
         # Keys on other shards were never disturbed.
-        for index in range(12):
+        for index in range(N_ITEMS):
             key = b"item:%d" % index
             if service.shard_for(key) != victim:
                 value = yield from router.get(key)
@@ -60,9 +76,25 @@ def main() -> None:
 
         # The pool replenishes itself after the provisioning delay.
         yield cluster.sim.timeout(3 * SEC)
-        print(f"after provisioning: idle backups = {pool.idle_backups}")
+        print(describe(cluster.topology()))
 
     cluster.run(scenario())
+
+    # -- elasticity: live-split a shard without losing a write ------------
+    before = cluster.topology()
+    print(f"\nscaling out: {len(before.shards)} -> {len(before.shards) + 1} shards...")
+    topo = cluster.scale(shards=N_SHARDS + 1)
+    print(describe(topo))
+    assert topo.ring_version == before.ring_version + 1
+    assert len(topo.shards) == N_SHARDS + 1
+
+    def readback():
+        for index in range(N_ITEMS):
+            value = yield from router.get(b"item:%d" % index)
+            assert value == b"payload-%d" % index, index
+        print("every pre-split write survived the migration.")
+
+    cluster.run(readback())
 
 
 if __name__ == "__main__":

@@ -37,6 +37,12 @@ from repro.sim.units import SEC
 
 __all__ = ["Cluster", "ScenarioFailed", "SYSTEMS", "system_spec"]
 
+#: Re-exported so ``from repro.api import Topology`` works alongside
+#: ``Cluster.topology()`` (the type lives with the control plane).
+from repro.control.topology import Topology  # noqa: E402
+
+__all__.append("Topology")
+
 #: Every system ``Cluster.build`` understands.
 SYSTEMS = ("sift", "sift-ec", "raft-r", "epaxos", "sharded")
 
@@ -122,6 +128,103 @@ class Cluster:
         host = self.fabric.add_host(name, cores=cores)
         factory = ShardRouter if isinstance(self.inner, ShardedKvService) else KvClient
         return factory(host, self.fabric, self.inner, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Topology: the one public window into the control plane
+    # ------------------------------------------------------------------
+
+    def topology(self) -> Topology:
+        """An immutable snapshot of shards, groups, placement and pool.
+
+        This (plus :meth:`scale` and :meth:`migrate`) replaces reaching
+        into service internals like ``ShardedKvService.group_for``.
+        """
+        return Topology.of(self.inner, at_us=self.sim.now)
+
+    def _sharded(self):
+        from repro.shard.service import ShardedKvService
+
+        if not isinstance(self.inner, ShardedKvService):
+            raise ReproError(
+                f"{self.spec.name!r} is not sharded; topology mutation needs "
+                "Cluster.build('sharded', ...)"
+            )
+        return self.inner
+
+    def scale(self, shards: Optional[int] = None, backups: Optional[int] = None,
+              auto: bool = False, config=None):
+        """Change the cluster's shape, or hand it to the reconciler.
+
+        ``shards=N`` live-splits (largest key-span first) or
+        live-merges (smallest into largest) until the ring has N
+        shards, driving the simulator until each migration completes —
+        no acked write is dropped.  ``backups=N`` resizes the shared
+        pool immediately.  ``auto=True`` starts a
+        :class:`~repro.control.reconciler.Reconciler` with *config*
+        (a :class:`~repro.control.reconciler.ReconcilerConfig`) that
+        does both continuously; returns it (stop with ``.stop()``).
+        Returns the resulting :class:`Topology` otherwise.
+        """
+        from repro.control.migrate import MigrationManager
+        from repro.control.reconciler import Reconciler
+
+        service = self._sharded()
+        if auto:
+            reconciler = Reconciler(self.fabric, service, config=config)
+            reconciler.start()
+            return reconciler
+        if backups is not None:
+            service.pool.resize(backups)
+        if shards is not None:
+            if shards < 1:
+                raise ValueError(f"need at least one shard, got {shards}")
+            while len(service.ring.shards) < shards:
+                widest = max(
+                    sorted(service.ring.shards), key=self._shard_span
+                )
+                manager = MigrationManager.split(self.fabric, service, widest)
+                self.run(manager.run())
+            while len(service.ring.shards) > shards:
+                spans = sorted(service.ring.shards, key=self._shard_span)
+                manager = MigrationManager.merge(
+                    self.fabric, service, spans[0], spans[-1]
+                )
+                self.run(manager.run())
+        return self.topology()
+
+    def _shard_span(self, shard: str) -> int:
+        """Total key-space span a shard owns (deterministic split pick)."""
+        service = self._sharded()
+        return sum(
+            (hi - lo) % (1 << 64) for lo, hi in service.ring.arcs_of(shard)
+        )
+
+    def migrate(self, shard: str, to: Optional[str] = None,
+                new_shard: Optional[str] = None, **kwargs):
+        """Run one live key-range migration to completion.
+
+        Without *to*: split *shard*, provisioning a fresh group (named
+        *new_shard* if given) and moving half the range to it.  With
+        *to*: merge *shard*'s whole range into the running group *to*.
+        Drives the simulator until the forwarding window closes and
+        returns the :class:`~repro.control.migrate.MigrationManager`
+        (``.stats``, ``.cutover_at``, ``.snapshot()``).
+        """
+        from repro.control.migrate import MigrationManager
+
+        service = self._sharded()
+        if to is None:
+            manager = MigrationManager.split(
+                self.fabric, service, shard, new_shard=new_shard, **kwargs
+            )
+        else:
+            if new_shard is not None:
+                raise ValueError("new_shard only applies to splits (to=None)")
+            manager = MigrationManager.merge(
+                self.fabric, service, shard, to, **kwargs
+            )
+        self.run(manager.run())
+        return manager
 
     # ------------------------------------------------------------------
     # Driving the simulation

@@ -54,6 +54,8 @@ from repro.bench.points import (
     fig6path_points,
     fig8live_params,
     fig8live_points,
+    figHotspot_params,
+    figHotspot_points,
     figMclients_params,
     figMclients_points,
     fig11_points,
@@ -82,6 +84,7 @@ BASELINE_FIGURES = (
     "fig6path",
     "fig11",
     "fig11sweep",
+    "figHotspot",
     "figMclients",
 )
 
@@ -417,6 +420,74 @@ def cmd_figMclients(args, scale):
     }
 
 
+def cmd_figHotspot(args, scale):
+    """Elastic control plane under a mid-run hotspot shift.
+
+    Two cells share one seed and one scenario — a warmup coordinator
+    fault burst, then a Zipf hotspot retargeted onto one shard at fixed
+    offered load — and differ only in the control plane: *static* keeps
+    a peak-provisioned backup pool and fixed topology, *autoscaled*
+    starts lean and must reconcile (resize the pool from the observed
+    burst, split the hot shard under live load).  Gates: after the
+    shift the autoscaled cell's worst p99.9 strictly beats the static
+    cell's; its pool cost stays below static peak provisioning; the
+    reconciler actually split and resized; both cells lose zero acked
+    writes and pass the linearizability check across the migration.
+    """
+    params = figHotspot_params(args.smoke)
+    points = figHotspot_points(scale, args.seed, args.smoke)
+    results = run_points(points, jobs=args.jobs, progress=_progress)
+    rows = []
+    for point in points:
+        cell = results[point.key]
+        rows.append(
+            (
+                point.key,
+                f"after p99.9 {cell['tails']['after']['p99.9']:8.0f}us  "
+                f"pool {cell['pool']['vm_seconds']:5.2f} VM-s  "
+                f"shards {cell['control']['shards']}  "
+                f"splits {cell['control']['splits']}  "
+                f"lost {cell['probe']['lost'] + cell['probe']['missing']}  "
+                f"lincheck {'ok' if cell['probe']['lincheck_ok'] else 'FAIL'}",
+            )
+        )
+    print(kv_table("Figure Hotspot: elastic vs static under a load shift", rows))
+    static = results[points[0].key]
+    auto = results[points[1].key]
+    if not (
+        auto["tails"]["after"]["p99.9"] < static["tails"]["after"]["p99.9"]
+    ):
+        print("WARNING: the autoscaled cell's post-shift p99.9 does not "
+              "beat the static cell's", file=sys.stderr)
+        args._failed = True
+    if not auto["pool"]["vm_seconds"] < static["pool"]["vm_seconds"]:
+        print("WARNING: the autoscaled pool cost is not below static peak "
+              "provisioning", file=sys.stderr)
+        args._failed = True
+    if auto["control"]["splits"] < 1 or auto["control"]["ring_version"] < 1:
+        print("WARNING: the reconciler never split the hot shard",
+              file=sys.stderr)
+        args._failed = True
+    if auto["control"]["pool_resizes"] < 1:
+        print("WARNING: the reconciler never resized the pool",
+              file=sys.stderr)
+        args._failed = True
+    for point in points:
+        cell = results[point.key]
+        if cell["probe"]["lost"] or cell["probe"]["missing"]:
+            print(f"WARNING: {point.key} lost acked writes",
+                  file=sys.stderr)
+            args._failed = True
+        if not cell["probe"]["lincheck_ok"]:
+            print(f"WARNING: {point.key} failed the linearizability check "
+                  f"(key {cell['probe']['offending_key']})", file=sys.stderr)
+            args._failed = True
+    return {
+        "simulated": {point.key: results[point.key] for point in points},
+        "params": {"cores": 12, **{k: v for k, v in params.items()}},
+    }
+
+
 def cmd_fig9(_args, _scale):
     costs = {p: relative_costs(p, 1) for p in ("aws", "gcp")}
     labels = list(costs["aws"])
@@ -556,6 +627,7 @@ COMMANDS = {
     "fig6path": cmd_fig6path,
     "fig8": cmd_fig8,
     "fig8live": cmd_fig8live,
+    "figHotspot": cmd_figHotspot,
     "figMclients": cmd_figMclients,
     "fig9": cmd_fig9,
     "fig10": cmd_fig10,

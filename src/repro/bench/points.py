@@ -45,8 +45,11 @@ __all__ = [
     "fig6path_points",
     "fig8live_params",
     "fig8live_points",
+    "figHotspot_params",
+    "figHotspot_points",
     "figMclients_params",
     "figMclients_points",
+    "hotspot_point",
     "openloop_point",
     "fig11_points",
     "fig11_timings",
@@ -657,6 +660,317 @@ def figMclients_points(scale: BenchScale, seed: int, smoke: bool) -> List[Point]
                     "scale": scale,
                     "seed": seed,
                 },
+            )
+        )
+    return points
+
+
+def hotspot_point(
+    autoscale: bool,
+    shards: int,
+    workload: str,
+    offered_ops_per_sec: float,
+    n_clients: int,
+    hot_span: int,
+    max_inflight: int,
+    queue_limit: int,
+    window_us: float,
+    warmup_us: float,
+    before_us: float,
+    settle_us: float,
+    after_us: float,
+    static_backups: int,
+    provisioning_delay_us: float,
+    fault_at_us,
+    reconciler_interval_us: float,
+    imbalance_factor: float,
+    min_split_ops: int,
+    forward_window_us: float,
+    pool_max: int,
+    scale: BenchScale,
+    seed: int,
+) -> dict:
+    """One figHotspot cell: a mid-run hotspot shift, elastic or static.
+
+    Both cells run the same seed, the same open-loop offered load, the
+    same warmup fault burst (two coordinator crashes on the cold shard,
+    closer together than the pool's provisioning delay), and the same
+    :meth:`HotspotZipfSampler.retarget` onto shard 0 between the
+    ``before`` and ``after`` measurement windows.  The only difference
+    is the control plane: the *static* cell keeps a peak-provisioned
+    pool (*static_backups*) and a fixed topology, while the *autoscale*
+    cell starts with a one-spare pool and a :class:`Reconciler` that
+    must resize it from the observed burst and split the hot shard out
+    from under the live load.
+
+    A closed-loop probe client records a linearizability history across
+    the whole run (its keys migrate with everyone else's), and the
+    epilogue reads back every acked probe write plus the hottest data
+    keys — the zero-acked-write-loss gate.
+    """
+    from repro.bench.lincheck import History, Op, check_history
+    from repro.bench.runner import _setup
+    from repro.control import Reconciler, ReconcilerConfig
+    from repro.kv.client import KvRequestFailed
+    from repro.workloads.generator import HotspotZipfSampler
+    from repro.workloads.openloop import AdmissionControl, OpenLoopEngine
+
+    spec = build_spec(
+        "sharded",
+        scale,
+        cores=12,
+        shards=shards,
+        backups=static_backups if not autoscale else 1,
+        provisioning_delay_us=provisioning_delay_us,
+    )
+    sim, fabric, service = _setup(spec, scale, seed)
+    sampler = HotspotZipfSampler(scale.keys, service.ring, scale.zipf_theta)
+    engine = OpenLoopEngine(
+        fabric,
+        service,
+        WORKLOADS[workload],
+        sampler,
+        offered_ops_per_sec=offered_ops_per_sec,
+        n_clients=n_clients,
+        window_us=window_us,
+        admission=AdmissionControl(
+            max_inflight=max_inflight, queue_limit=queue_limit
+        ),
+        value_bytes=scale.value_bytes,
+        name="hotspot-auto" if autoscale else "hotspot-static",
+        elastic=autoscale,
+    )
+
+    ready = sim.spawn(spec.wait_ready(service), name="wait-ready")
+    sim.run_until_settled(ready, deadline=10 * SEC)
+    if not ready.ok:
+        raise RuntimeError(f"{spec.name} never became ready: {ready.exception}")
+    value = b"v" * scale.value_bytes
+    spec.preload(service, ((sampler.key(i), value) for i in range(scale.keys)))
+
+    # Closed-loop probe client: serialized puts/gets over a small key
+    # set, every outcome recorded for the Wing-Gong checker.  Failed
+    # calls are recorded as never-responded (they may or may not have
+    # taken effect), which the checker treats as optional.
+    probe_host = fabric.add_host("hotspot-probe", cores=2)
+    router = spec.client_factory(probe_host, fabric, service)
+    history = History()
+    acked: dict = {}
+    probe_stats = {"ops": 0, "failures": 0, "running": True}
+    PROBE_KEYS = [b"probe%02d" % i for i in range(16)]
+
+    def probe_loop():
+        count = 0
+        while probe_stats["running"]:
+            key = PROBE_KEYS[count % len(PROBE_KEYS)]
+            read = count % 4 == 3
+            payload = None if read else b"p%08d" % count
+            invoked = sim.now
+            try:
+                if read:
+                    result = yield from router.get(key)
+                    history.record(Op(key, "get", result, invoked, sim.now))
+                else:
+                    yield from router.put(key, payload)
+                    history.record(Op(key, "put", payload, invoked, sim.now))
+                    acked[key] = payload
+                probe_stats["ops"] += 1
+            except KvRequestFailed:
+                kind = "get" if read else "put"
+                history.record(Op(key, kind, payload, invoked, None))
+                probe_stats["failures"] += 1
+            count += 1
+            yield sim.timeout(2 * MS)
+
+    engine.start()
+    probe_host.spawn(probe_loop(), name="hotspot-probe")
+    reconciler = None
+    if autoscale:
+        reconciler = Reconciler(
+            fabric,
+            service,
+            ReconcilerConfig(
+                interval_us=reconciler_interval_us,
+                imbalance_factor=imbalance_factor,
+                min_split_ops=min_split_ops,
+                max_shards=shards + 2,
+                pool_min=1,
+                pool_max=pool_max,
+                forward_window_us=forward_window_us,
+            ),
+        )
+        reconciler.start()
+
+    # Warmup carries the fault burst: back-to-back crashes of the
+    # *cold* shard's coordinator, each landing as soon as the shard is
+    # serving again, so the requests space by detection + recovery —
+    # closer than the provisioning delay — and a one-spare pool
+    # demonstrably queues where the Fig. 8 replay asks for more.  Both
+    # cells take the same burst; crash-when-serving (rather than fixed
+    # times) keeps the second crash from whiffing on a cell whose first
+    # promotion is a few milliseconds slower.
+    base = sim.now
+    cold_shard = service.ring.shards[-1]
+
+    def fault_burst():
+        for at_us in sorted(fault_at_us):
+            if sim.now < base + at_us:
+                yield sim.timeout(base + at_us - sim.now)
+            while service.coordinators().get(cold_shard) is None:
+                yield sim.timeout(5 * MS)
+            service.crash_coordinator(shard=cold_shard)
+
+    probe_host.spawn(fault_burst(), name="hotspot-faults")
+    sim.run(until=base + warmup_us)
+
+    engine.begin_measurement(phase="before")
+    sim.run(until=sim.now + before_us)
+    engine.end_measurement()
+    before_slo = engine.slo_summary()
+
+    # The shift: re-aim the hot ranks at shard 0's keys.  No RNG is
+    # consumed, so the arrival stream is byte-identical to the static
+    # cell's; only where the mass lands changes.
+    sampler.retarget(0, hot_span)
+    shift_at_us = sim.now - base
+    sim.run(until=sim.now + settle_us)
+
+    engine.begin_measurement(phase="after")
+    sim.run(until=sim.now + after_us)
+    engine.end_measurement()
+    after_slo = engine.slo_summary()
+    engine.stop()
+    if reconciler is not None:
+        reconciler.stop()
+    probe_stats["running"] = False
+    sim.run(until=sim.now + 20 * MS)  # drain in-flight ops
+
+    # Epilogue: zero-acked-write-loss.  Every acked probe write must
+    # read back as its last acked value, and the hottest data keys must
+    # still hold the preloaded/engine value after split + migration.
+    readback = {"checked": 0, "lost": 0, "missing": 0}
+
+    def readback_loop():
+        for key, expect in sorted(acked.items()):
+            result = yield from router.get(key)
+            readback["checked"] += 1
+            if result != expect:
+                readback["lost"] += 1
+        for index in range(min(64, scale.keys)):
+            result = yield from router.get(sampler.key(index))
+            if result != value:
+                readback["missing"] += 1
+
+    check = probe_host.spawn(readback_loop(), name="hotspot-readback")
+    sim.run_until_settled(check, deadline=30 * SEC)
+    if not check.ok:
+        raise RuntimeError(f"figHotspot readback failed: {check.exception}")
+    lincheck_ok, offending = check_history(history)
+
+    def tail(slo: dict, label: str) -> float:
+        worst = 0.0
+        for ops in slo.values():
+            for summary in ops.values():
+                worst = max(worst, float(summary.get(label, 0.0)))
+        return worst
+
+    pool = service.pool
+    out = {
+        "autoscale": bool(autoscale),
+        "offered_ops_per_sec": offered_ops_per_sec,
+        "achieved_ops_per_sec": engine.achieved_ops_per_sec(),
+        "completed": engine.counts["completed"],
+        "errors": engine.counts["errors"],
+        "shift_at_us": shift_at_us,
+        "slo": {"before": before_slo, "after": after_slo},
+        "tails": {
+            phase: {label: tail(slo, label) for label in ("p99", "p99.9")}
+            for phase, slo in (("before", before_slo), ("after", after_slo))
+        },
+        "pool": {
+            "capacity": pool.capacity,
+            "vm_seconds": pool.vm_seconds(),
+            "promotions": len(pool.promotion_log),
+            "max_wait_us": max(
+                (p.wait_us for p in pool.promotion_log), default=0.0
+            ),
+        },
+        "control": {
+            "shards": len(service.ring.shards),
+            "ring_version": service.ring.version,
+            "splits": reconciler.splits if reconciler else 0,
+            "merges": reconciler.merges if reconciler else 0,
+            "pool_resizes": reconciler.pool_resizes if reconciler else 0,
+        },
+        "probe": {
+            "ops": probe_stats["ops"],
+            "failures": probe_stats["failures"],
+            "lincheck_ok": bool(lincheck_ok),
+            "offending_key": (
+                offending.decode("ascii", "replace") if offending else None
+            ),
+            **readback,
+        },
+    }
+    return out
+
+
+def figHotspot_params(smoke: bool) -> dict:
+    """The figHotspot scenario preset.
+
+    The offered rate is chosen so one shard carrying the retargeted hot
+    set (~85% of the mass) runs past its lane's closed-loop capacity
+    while the balanced layout stays comfortably under it — the tail gap
+    the reconciled cell must close by splitting.  The fault burst spaces
+    two cold-shard coordinator crashes closer than the provisioning
+    delay, so the Fig. 8 replay demands a second spare.
+    """
+    common = dict(
+        shards=2,
+        workload="mixed",
+        hot_span=512,
+        max_inflight=8,
+        queue_limit=256,
+        window_us=1 * MS,
+        warmup_us=350 * MS,
+        static_backups=3,
+        provisioning_delay_us=150 * MS,
+        fault_at_us=(5 * MS, 70 * MS),
+        reconciler_interval_us=25 * MS,
+        imbalance_factor=1.5,
+        min_split_ops=512,
+        forward_window_us=50 * MS,
+        pool_max=4,
+    )
+    if smoke:
+        return dict(
+            common,
+            offered_ops_per_sec=200_000.0,
+            n_clients=200_000,
+            before_us=50 * MS,
+            settle_us=80 * MS,
+            after_us=200 * MS,
+        )
+    return dict(
+        common,
+        offered_ops_per_sec=200_000.0,
+        n_clients=1_000_000,
+        before_us=100 * MS,
+        settle_us=80 * MS,
+        after_us=400 * MS,
+    )
+
+
+def figHotspot_points(scale: BenchScale, seed: int, smoke: bool) -> List[Point]:
+    """Two cells, static first (the declared merge order)."""
+    params = figHotspot_params(smoke)
+    points = []
+    for label, autoscale in (("static", False), ("autoscaled", True)):
+        points.append(
+            Point(
+                key=f"sharded/{label}",
+                fn=hotspot_point,
+                kwargs=dict(params, autoscale=autoscale, scale=scale, seed=seed),
             )
         )
     return points

@@ -154,7 +154,7 @@ def sharded_spec(
         for key, value in items:
             by_shard[service.shard_for(key)].append((key, value))
         for shard_name, shard_items in by_shard.items():
-            coordinator = service.group(shard_name).serving_coordinator()
+            coordinator = service._group(shard_name).serving_coordinator()
             if coordinator is None:
                 raise RuntimeError(f"preload requires {shard_name} to be serving")
             coordinator.app.preload(shard_items)

@@ -115,6 +115,17 @@ class ClusterAdapter:
     def restart_memory_node(self, index: int) -> None:
         raise UnsupportedFault(f"{self.kind} has no memory nodes")
 
+    def crash_coordinator(self, shard=None, ring_version=None) -> None:
+        """Kill the coordinator owning *shard*'s key range.
+
+        Single-group systems ignore the shard name and crash the
+        leader; the sharded adapter resolves it ring-version-aware.
+        """
+        index = self.leader_index()
+        if index is None:
+            raise UnsupportedFault("no live leader to target")
+        self.crash_node(index)
+
 
 class SiftAdapter(ClusterAdapter):
     """Sift: CPU nodes lead, memory nodes are passive remote memory."""
@@ -229,6 +240,17 @@ class ShardedAdapter(ClusterAdapter):
 
     def restart_memory_node(self, index):
         self._memory_nodes()[index].restart()
+
+    def crash_coordinator(self, shard=None, ring_version=None):
+        """Ring-version-aware coordinator kill for one key range.
+
+        A fault scheduled against a shard name before a split/merge is
+        resolved through :meth:`ShardedKvService.resolve_shard`, so it
+        lands on whichever group owns the *intended key range* under
+        the current ring — deterministically, whatever topology changes
+        happened since the schedule was written.
+        """
+        self.cluster.crash_coordinator(shard=shard, ring_version=ring_version)
 
 
 class RaftAdapter(ClusterAdapter):
@@ -360,6 +382,9 @@ class ChaosController:
 
     def _do_crash_node(self, target):
         self.adapter.crash_node(self._index(target))
+
+    def _do_crash_coordinator(self, shard, ring_version):
+        self.adapter.crash_coordinator(shard=shard, ring_version=ring_version)
 
     def _do_restart_node(self, index):
         self.adapter.restart_node(int(index))

@@ -116,6 +116,25 @@ class FaultSchedule:
         """Kill consensus node *index* (CPU node / replica)."""
         return self.add(at_us, "crash_node", int(index))
 
+    def crash_coordinator(
+        self,
+        at_us: float,
+        shard: Optional[str] = None,
+        ring_version: Optional[int] = None,
+    ) -> "FaultSchedule":
+        """Kill the coordinator of *shard*'s key range (sharded service).
+
+        Ring-version-aware: *shard* may name a shard under any installed
+        ring version (pass *ring_version* to pin which one the name was
+        written against); at injection time the fault lands on whichever
+        group owns that key range under the *then-current* ring, so a
+        schedule written before a split/merge still hits the intended
+        range deterministically.  ``shard=None`` targets the first
+        shard.  On non-sharded systems this degrades to crashing the
+        leader.
+        """
+        return self.add(at_us, "crash_coordinator", shard, ring_version)
+
     def restart_node(self, at_us: float, index: int) -> "FaultSchedule":
         """Restart consensus node *index* with fresh soft state."""
         return self.add(at_us, "restart_node", int(index))

@@ -33,6 +33,7 @@ from repro.cluster.trace import TraceConfig, generate_trace
 __all__ = [
     "BackupSimResult",
     "PoolAccountant",
+    "desired_pool_size",
     "simulate_backup_pool",
     "sweep_backup_pool",
 ]
@@ -86,6 +87,39 @@ class PoolAccountant:
         faults), else by the coordinator faults charged so far."""
         n = self.faults if events is None else events
         return self.total_extra_s / n if n else 0.0
+
+
+def desired_pool_size(
+    fault_times_s: List[float],
+    provision_s: float = PROVISION_S,
+    max_backups: int = 8,
+    target_extra_s: float = 0.0,
+    min_backups: int = 1,
+) -> int:
+    """The smallest pool that absorbs an observed fault burst (Fig 8).
+
+    Replays *fault_times_s* (coordinator-fault request times, seconds,
+    any order) through the :class:`PoolAccountant` heap model for each
+    candidate size and returns the smallest ``B`` whose total additional
+    recovery time stays at or below *target_extra_s* — the reconciler's
+    desired capacity for the burstiness it just observed.  Falls back to
+    *max_backups* when even that cannot absorb the burst.  Deterministic:
+    pure arithmetic on the observed times, no RNG.
+    """
+    if min_backups < 0 or max_backups < min_backups:
+        raise ValueError(
+            f"need 0 <= min_backups <= max_backups, got {min_backups}..{max_backups}"
+        )
+    times = sorted(fault_times_s)
+    if not times:
+        return min_backups
+    for backups in range(max(min_backups, 1), max_backups + 1):
+        accountant = PoolAccountant(backups, provision_s=provision_s)
+        for time_s in times:
+            accountant.fault(time_s)
+        if accountant.total_extra_s <= target_extra_s:
+            return max(backups, min_backups)
+    return max_backups
 
 
 class BackupSimResult(NamedTuple):

@@ -15,10 +15,30 @@ from __future__ import annotations
 import warnings
 from typing import Any, Dict, Set, Tuple
 
-__all__ = ["resolve_us_kwargs"]
+__all__ = ["resolve_us_kwargs", "warn_deprecated"]
 
 #: (owner, legacy name) pairs that already warned this process.
 _WARNED: Set[Tuple[str, str]] = set()
+
+
+def warn_deprecated(owner: str, name: str, replacement: str) -> None:
+    """Emit one :class:`DeprecationWarning` per (owner, name) pair.
+
+    The method-deprecation sibling of :func:`resolve_us_kwargs`: entry
+    points that moved behind a redesigned surface (for example
+    ``ShardedKvService.group`` behind ``Cluster.topology()``) call this
+    from their shim so existing callers keep working and hear about the
+    replacement exactly once per process.
+    """
+    key = (owner, name)
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(
+        f"{owner}.{name} is deprecated, use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def resolve_us_kwargs(

@@ -1,0 +1,30 @@
+"""The elastic control plane.
+
+A single-leader reconciler compares desired state against observed
+state (per-shard offered load, backup-pool promotion pressure) and acts
+through exactly three mechanisms:
+
+* **shard split / merge** — versioned
+  :class:`~repro.shard.hashing.HashRing` mutation; routers notice the
+  version bump and invalidate their per-shard client caches;
+* **live key-range migration** — :class:`~repro.control.migrate.MigrationManager`
+  moves a key range between running groups without dropping acked
+  writes (copy-then-catch-up with a dual-write mirror, cutover stamped
+  in virtual time, then a forwarding window);
+* **pool autoscaling** — :class:`~repro.core.backups.BackupPool.resize`
+  driven by the Figure 8 accounting in
+  :func:`repro.cluster.backups.desired_pool_size`.
+
+Everything here is deterministic in the fabric seed: the control plane
+consumes no RNG, and its actions are pure functions of observed
+simulated state.  The public entry points are
+:meth:`repro.api.Cluster.topology`, :meth:`repro.api.Cluster.scale`
+and :meth:`repro.api.Cluster.migrate` — services are not reached into
+directly.
+"""
+
+from repro.control.migrate import MigrationManager
+from repro.control.reconciler import Reconciler, ReconcilerConfig
+from repro.control.topology import Topology
+
+__all__ = ["MigrationManager", "Reconciler", "ReconcilerConfig", "Topology"]

@@ -29,6 +29,7 @@ from repro.core.group import SiftGroup
 from repro.net.fabric import Fabric
 from repro.net.host import Host
 from repro.obs import state as obs_state
+from repro.obs.stats import StatsSnapshot
 from repro.rdma.errors import RdmaError
 from repro.rdma.nic import Rnic
 from repro.rdma.qp import QpState, QueuePair
@@ -135,8 +136,22 @@ class BackupPool:
         self.waits = 0
         self.recovery_wait_us_total = 0.0
         self.promotion_log: List[Promotion] = []
+        # Every promotion request instant, recorded *at request time* —
+        # a request still waiting for a VM (pool exhausted) must be
+        # visible to the autoscaler even though it has no Promotion yet.
+        self.request_log: List[float] = []
         self.running = False
         self._watchdog: Optional[Host] = None
+        self._watchdog_nic: Optional[Rnic] = None
+        # Capacity cost integral (VM-microseconds): the fleet the pool
+        # pays for is `capacity` VMs at any instant — a consumed spare's
+        # replacement is already provisioning — so cost accrues at
+        # `capacity` per microsecond between resizes.
+        self._cost_vm_us = 0.0
+        self._cost_marker_us = self.sim.now
+        self._shrink_debt = 0  # provisions to cancel on arrival after a shrink
+        self._retired: set = set()  # group names whose monitors should exit
+        self.resizes = 0
         for _ in range(size):
             self._spares.append(self._new_spare())
         self._publish_occupancy()
@@ -160,10 +175,27 @@ class BackupPool:
         """Begin monitoring every group from a watchdog host."""
         self.running = True
         self._watchdog = self.fabric.add_host(f"{self.name}-watchdog", cores=2)
-        nic = Rnic(self._watchdog, self.fabric)
+        self._watchdog_nic = Rnic(self._watchdog, self.fabric)
         for group in self.groups:
-            watcher = _GroupWatcher(self._watchdog, nic, group)
-            self._watchdog.spawn(self._monitor(group, watcher), name=f"monitor-{group.name}")
+            self._spawn_monitor(group)
+
+    def _spawn_monitor(self, group: SiftGroup) -> None:
+        watcher = _GroupWatcher(self._watchdog, self._watchdog_nic, group)
+        self._watchdog.spawn(self._monitor(group, watcher), name=f"monitor-{group.name}")
+
+    def watch(self, group: SiftGroup) -> None:
+        """Begin monitoring a group added after :meth:`start` (a split)."""
+        self._retired.discard(group.name)
+        if any(existing is group for existing in self.groups):
+            return
+        self.groups.append(group)
+        if self.running:
+            self._spawn_monitor(group)
+
+    def unwatch(self, group: SiftGroup) -> None:
+        """Stop monitoring a retired group (its monitor exits next round)."""
+        self._retired.add(group.name)
+        self.groups = [g for g in self.groups if g.name != group.name]
 
     def stop(self) -> None:
         """Stop promoting (running monitors drain on their next check)."""
@@ -183,6 +215,82 @@ class BackupPool:
         return self.recovery_wait_us_total / self.promotions if self.promotions else 0.0
 
     # ------------------------------------------------------------------
+    # Autoscaling (repro.control)
+    # ------------------------------------------------------------------
+
+    def _accrue_cost(self) -> None:
+        now = self.sim.now
+        self._cost_vm_us += (now - self._cost_marker_us) * self.capacity
+        self._cost_marker_us = now
+
+    def vm_seconds(self) -> float:
+        """Capacity time-integral so far: the VM-seconds the pool paid for.
+
+        A statically provisioned pool of B spares over a run of T
+        seconds costs ``B x T``; an autoscaled pool costs the integral
+        of its capacity curve — the figHotspot cost axis.
+        """
+        return (self._cost_vm_us + (self.sim.now - self._cost_marker_us) * self.capacity) / 1e6
+
+    def resize(self, capacity: int) -> int:
+        """Set the pool's target capacity; returns the previous one.
+
+        Growing starts provisioning the extra VMs now (idle after
+        ``provisioning_delay_us``).  Shrinking decommissions idle spares
+        immediately and cancels in-flight provisions on arrival; queued
+        promotions always beat a pending shrink.
+        """
+        if capacity < 0:
+            raise ValueError(f"pool capacity must be non-negative, got {capacity}")
+        self._accrue_cost()
+        previous = self.capacity
+        self.capacity = capacity
+        if capacity > previous:
+            grow = capacity - previous
+            recovered = min(grow, self._shrink_debt)
+            self._shrink_debt -= recovered
+            for _ in range(grow - recovered):
+                self.sim.spawn(self._provision(), name="provision-backup")
+        elif capacity < previous:
+            drop = previous - capacity
+            while drop and self._spares:
+                self._spares.pop()
+                drop -= 1
+            self._shrink_debt += drop
+        if capacity != previous:
+            self.resizes += 1
+            if obs_state.TRACER is not None:
+                obs_state.TRACER.instant(
+                    "backup_pool.resize",
+                    self.sim.now,
+                    pool=self.name,
+                    capacity=capacity,
+                    previous=previous,
+                )
+        self._publish_occupancy()
+        return previous
+
+    def snapshot(self) -> StatsSnapshot:
+        """The pool's :class:`~repro.obs.stats.StatsSnapshot`."""
+        return StatsSnapshot(
+            kind="backup_pool",
+            name=self.name,
+            counters={
+                "promotions": float(self.promotions),
+                "provisioned": float(self.provisioned),
+                "waits": float(self.waits),
+                "resizes": float(self.resizes),
+                "recovery_wait_us_total": self.recovery_wait_us_total,
+            },
+            gauges={
+                "idle": float(len(self._spares)),
+                "capacity": float(self.capacity),
+                "queued": float(len(self._waiters)),
+                "vm_seconds": self.vm_seconds(),
+            },
+        )
+
+    # ------------------------------------------------------------------
     # Monitoring and promotion
     # ------------------------------------------------------------------
 
@@ -192,6 +300,8 @@ class BackupPool:
         stale_rounds = 0
         while self.running:
             yield self.sim.timeout(interval)
+            if group.name in self._retired:
+                return
             changed = yield from watcher.poll()
             if changed >= config.quorum:
                 stale_rounds = 0
@@ -219,6 +329,7 @@ class BackupPool:
         makes the group provision its own VM, charged in full.
         """
         request_us = self.sim.now
+        self.request_log.append(request_us)
         if self._spares:
             host_name = self._spares.pop()
             self._publish_occupancy()
@@ -268,11 +379,14 @@ class BackupPool:
     def _provision(self):
         yield self.sim.timeout(self.provisioning_delay_us)
         self.provisioned += 1
-        host_name = self._new_spare()
         if self._waiters:
             # Hand the fresh VM straight to the longest-queued group so
             # its measured wait ends exactly at the VM's ready time.
-            self._waiters.pop(0).try_trigger(host_name)
+            self._waiters.pop(0).try_trigger(self._new_spare())
+        elif self._shrink_debt > 0:
+            # A shrink landed while this VM was provisioning: release it
+            # instead of parking it (queued promotions above beat this).
+            self._shrink_debt -= 1
         else:
-            self._spares.append(host_name)
+            self._spares.append(self._new_spare())
             self._publish_occupancy()

@@ -133,6 +133,17 @@ class KvServer:
         self.next_seq = 1
         self.applied_seq = 0  # contiguous: every record <= this is applied
         self._next_dispatch = 1  # next seq a worker may pick up
+        # Live-migration hook (repro.control.migrate.MigrationHooks) —
+        # installed/cleared by the control plane on the *current*
+        # coordinator only; a successor elected mid-migration starts
+        # bare and the migration manager re-installs (and restarts the
+        # copy pass, so nothing acked in the window is missed).
+        self.migration = None
+        # Destination-side import fence: per-key source sequence floor.
+        # Mirrored writes carry their source WAL seq; copy-pass imports
+        # carry 0, so a stale copy read can never overwrite a newer
+        # mirrored write however the two RPCs interleave.
+        self._import_seqs: Dict[bytes, int] = {}
         self._done_seqs: set = set()
         self._ready: Dict[int, WalRecord] = {}
         self._apply_kicks: List[Event] = []
@@ -169,6 +180,8 @@ class KvServer:
         self.endpoint.register("kv.put", self.handle_put)
         self.endpoint.register("kv.get", self.handle_get)
         self.endpoint.register("kv.delete", self.handle_delete)
+        self.endpoint.register("kv.mig_put", self.handle_migrate_put)
+        self.endpoint.register("kv.mig_scan", self.handle_migrate_scan)
 
     def stop(self) -> None:
         """Tear down handlers and background work (depose path)."""
@@ -178,6 +191,8 @@ class KvServer:
         self.endpoint.unregister("kv.put")
         self.endpoint.unregister("kv.get")
         self.endpoint.unregister("kv.delete")
+        self.endpoint.unregister("kv.mig_put")
+        self.endpoint.unregister("kv.mig_scan")
         kicks, self._apply_kicks = self._apply_kicks, []
         for kick in kicks:
             kick.try_trigger(None)
@@ -338,6 +353,21 @@ class KvServer:
     def handle_put(self, payload: Tuple[bytes, bytes]):
         """Process: §4.2 put — one RDMA round trip to commit."""
         key, value = payload
+        # Capture the hook once: a cutover mid-operation must not strand
+        # a write that committed under the dual-write window unmirrored.
+        hook = self.migration
+        if hook is not None and hook.forwards(key):
+            reply = yield from hook.forward("put", key, value)
+            return reply
+        seq = yield from self._local_put(key, value)
+        if hook is not None and hook.mirrors(key):
+            # Synchronous dual-write *before* the ack: an acked in-range
+            # put is on the destination too, whatever happens next.
+            yield from hook.mirror(key, value, seq)
+        return Reply(("ok", seq), 32)
+
+    def _local_put(self, key: bytes, value: bytes):
+        """Process: the put body (admission, WAL commit); returns the seq."""
         self._check_record(key, value)
         yield self.host.execute(self.config.op_cpu_us + self.config.cache_cpu_us)
         # Admission control: a put that may insert must have a block
@@ -364,10 +394,14 @@ class KvServer:
             if self._ready_reservations.pop(seq, False):
                 self._reserved_blocks -= 1
             raise
-        return Reply(("ok", seq), 32)
+        return seq
 
     def handle_get(self, key: bytes):
         """Process: §4.2 get — cache first, chain walk on a miss."""
+        hook = self.migration
+        if hook is not None and hook.forwards(key):
+            reply = yield from hook.forward("get", key)
+            return reply
         yield self.host.execute(self.config.op_cpu_us + self.config.cache_cpu_us)
         self.stats["gets"] += 1
         hit, value = self.cache.get(key)
@@ -392,6 +426,17 @@ class KvServer:
 
     def handle_delete(self, key: bytes):
         """Process: delete — a tombstone record through the same WAL."""
+        hook = self.migration
+        if hook is not None and hook.forwards(key):
+            reply = yield from hook.forward("delete", key)
+            return reply
+        seq = yield from self._local_delete(key)
+        if hook is not None and hook.mirrors(key):
+            yield from hook.mirror(key, None, seq)
+        return Reply(("ok", seq), 32)
+
+    def _local_delete(self, key: bytes):
+        """Process: the delete body (tombstone WAL commit); returns the seq."""
         self._check_record(key, b"")
         yield self.host.execute(self.config.op_cpu_us + self.config.cache_cpu_us)
         seq = self.next_seq
@@ -404,7 +449,77 @@ class KvServer:
         except Exception:
             self.cache.applied(record.key, None)
             raise
+        return seq
+
+    # ------------------------------------------------------------------
+    # Live-migration RPCs (repro.control)
+    # ------------------------------------------------------------------
+
+    def handle_migrate_put(self, payload: Tuple[bytes, Optional[bytes], int]):
+        """Process: fenced import on the migration *destination*.
+
+        Applies a mirrored write (``src_seq`` = its source WAL sequence)
+        or a copy-pass record (``src_seq`` = 0, ``value`` = None means a
+        tombstone) only when it is newer than anything already imported
+        for the key, so copy-vs-mirror races resolve to the source's
+        latest acked value regardless of RPC arrival order.
+        """
+        key, value, src_seq = payload
+        key = bytes(key)
+        recorded = self._import_seqs.get(key, -1)
+        if src_seq <= recorded:
+            self.stats["migrate_stale"] = self.stats.get("migrate_stale", 0) + 1
+            return Reply(("ok", 0), 32)
+        self._import_seqs[key] = src_seq
+        self.stats["migrate_imports"] = self.stats.get("migrate_imports", 0) + 1
+        if value is None:
+            seq = yield from self._local_delete(key)
+        else:
+            seq = yield from self._local_put(key, value)
         return Reply(("ok", seq), 32)
+
+    def handle_migrate_scan(self, payload: Tuple[int, int, tuple]):
+        """Process: copy-pass scan on the migration *source*.
+
+        Returns every applied ``(key, value)`` in buckets ``[lo, hi)``
+        whose hash falls in the moved arcs.  The scan first waits for
+        the apply frontier to pass the WAL records committed before it
+        started; anything committed after that point is covered by the
+        already-installed dual-write mirror, so scan + mirror together
+        observe every acked write.
+        """
+        from repro.shard.hashing import key_point, ranges_contain
+
+        bucket_lo, bucket_hi, ranges = payload
+        floor = self.next_seq - 1
+        while self.applied_seq < floor:
+            if not self.running:
+                raise KvError("kv server stopped mid-scan")
+            yield self.sim.timeout(500.0)
+        out = []
+        total = 0
+        for bucket in range(bucket_lo, min(bucket_hi, self.config.index_buckets)):
+            # Empty buckets (the vast majority at a 12.5% load factor)
+            # cost nothing: the unlocked peek is safe because the chain
+            # head is re-read under the lock before it is walked.
+            if not int(self.index[bucket]):
+                continue
+            token = yield from self._bucket_locks.acquire([bucket], LockMode.READ)
+            try:
+                ptr = int(self.index[bucket])
+                while ptr:
+                    raw = yield from self.repmem.read(ptr, self.layout.block_bytes)
+                    self.stats["chain_reads"] += 1
+                    image = self.layout.decode_block(raw)
+                    if image is None:
+                        break  # torn block: WAL replay repairs; skip chain tail
+                    if ranges_contain(ranges, key_point(image.key)):
+                        out.append((image.key, image.value))
+                        total += len(image.key) + len(image.value)
+                    ptr = image.next_ptr
+            finally:
+                self._bucket_locks.release(token)
+        return Reply(("ok", out), 16 + total)
 
     def _check_record(self, key: bytes, value: bytes) -> None:
         if not key or len(key) > self.config.key_bytes:

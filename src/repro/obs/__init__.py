@@ -58,6 +58,7 @@ from repro.obs.registry import (
     current_registry,
     set_registry,
 )
+from repro.obs.stats import StatsSnapshot, snapshot_of
 from repro.obs.trace import (
     Span,
     Tracer,
@@ -78,6 +79,7 @@ __all__ = [
     "MetricsRegistry",
     "SloHistogram",
     "Span",
+    "StatsSnapshot",
     "Tracer",
     "artifact_filename",
     "collecting",
@@ -92,6 +94,7 @@ __all__ = [
     "publish_run",
     "set_registry",
     "set_tracer",
+    "snapshot_of",
     "span_sort_key",
     "state",
     "tracing",

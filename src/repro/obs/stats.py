@@ -1,0 +1,73 @@
+"""One shape for every "how is this component doing?" surface.
+
+Before the control plane existed, observed state lived in four ad-hoc
+shapes: ``KvClient.stats`` (a plain dict), ``ShardRouter.stats`` (a
+summed dict plus ``inflight_peaks()``), the ``BackupPool`` occupancy
+gauges, and the open-loop engine's ``counts``/``shed``/``ops``
+accounting.  The reconciler needs to read all of them; so do the
+figures.  :class:`StatsSnapshot` is the single protocol: any component
+with a ``snapshot()`` method returns one — monotonic event totals in
+``counters``, instantaneous levels in ``gauges`` — and
+:func:`snapshot_of` collects from anything that conforms.
+
+Snapshots are plain frozen data: diffing two of them (the reconciler's
+observe step) is dictionary arithmetic, publishing one into a
+:class:`~repro.obs.registry.MetricsRegistry` is a loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+__all__ = ["StatsSnapshot", "snapshot_of"]
+
+
+class StatsSnapshot(NamedTuple):
+    """A point-in-time reading of one component.
+
+    *kind* names the component type (``"kv_client"``, ``"router"``,
+    ``"backup_pool"``, ``"openloop"``, ...); *name* the instance.
+    ``counters`` hold monotonically non-decreasing totals (requests,
+    promotions, sheds); ``gauges`` hold instantaneous levels (idle
+    spares, inflight ops, achieved rate).
+    """
+
+    kind: str
+    name: str
+    counters: Dict[str, float]
+    gauges: Dict[str, float]
+
+    def counter(self, key: str, default: float = 0.0) -> float:
+        return self.counters.get(key, default)
+
+    def gauge(self, key: str, default: float = 0.0) -> float:
+        return self.gauges.get(key, default)
+
+    def delta(self, earlier: "StatsSnapshot") -> Dict[str, float]:
+        """Counter increments since *earlier* (missing keys count as 0)."""
+        return {
+            key: value - earlier.counters.get(key, 0.0)
+            for key, value in self.counters.items()
+        }
+
+
+def snapshot_of(component) -> StatsSnapshot:
+    """The :class:`StatsSnapshot` of any conforming component.
+
+    Raises :class:`TypeError` for objects without a ``snapshot()``
+    method — the protocol is deliberately explicit, not duck-typed off
+    a ``stats`` dict, so every surface migrates to one shape.
+    """
+    method = getattr(component, "snapshot", None)
+    if method is None:
+        raise TypeError(
+            f"{type(component).__name__} does not implement the StatsSnapshot "
+            "protocol (no snapshot() method)"
+        )
+    found = method()
+    if not isinstance(found, StatsSnapshot):
+        raise TypeError(
+            f"{type(component).__name__}.snapshot() returned "
+            f"{type(found).__name__}, expected StatsSnapshot"
+        )
+    return found

@@ -6,6 +6,14 @@ identically, and adding a shard moves only ``~1/G`` of the key space.
 Hashing therefore uses :mod:`hashlib` (Python's builtin ``hash`` is
 salted per process) and each shard contributes *virtual_nodes* points
 so the arc lengths even out.
+
+Rings are immutable but *versioned*: :meth:`HashRing.split` and
+:meth:`HashRing.merge` return a new ring (version + 1) plus the exact
+hash arcs whose ownership changed, which is everything the control
+plane needs to migrate data and everything routers need to invalidate
+their per-shard client caches.  Keys outside the returned arcs keep
+their owner — the monotonicity property pinned by
+``tests/test_control.py``.
 """
 
 from __future__ import annotations
@@ -16,12 +24,32 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["HashRing"]
+__all__ = ["HashRing", "key_point", "ranges_contain"]
 
 
 def _point(token: bytes) -> int:
     """A stable 64-bit ring position for *token*."""
     return int.from_bytes(hashlib.sha1(token).digest()[:8], "big")
+
+
+def key_point(key: bytes) -> int:
+    """The 64-bit ring position of a KV key (for range membership)."""
+    return _point(bytes(key))
+
+
+def ranges_contain(ranges: Sequence[Tuple[int, int]], point: int) -> bool:
+    """Whether *point* falls in any wrap-aware arc ``(lo, hi]``.
+
+    An arc with ``lo < hi`` covers ``lo < p <= hi``; an arc with
+    ``lo >= hi`` wraps past zero and covers ``p > lo or p <= hi``.
+    """
+    for lo, hi in ranges:
+        if lo < hi:
+            if lo < point <= hi:
+                return True
+        elif point > lo or point <= hi:
+            return True
+    return False
 
 
 class HashRing:
@@ -34,13 +62,17 @@ class HashRing:
             raise ValueError(f"duplicate shard names: {list(shards)}")
         self.shards: Tuple[str, ...] = tuple(shards)
         self.virtual_nodes = virtual_nodes
+        self.version = 0
         points: List[Tuple[int, str]] = []
         for name in self.shards:
             for replica in range(virtual_nodes):
                 points.append((_point(f"{name}#{replica}".encode()), name))
         points.sort()
-        self._points = [p for p, _ in points]
-        self._owners = [owner for _, owner in points]
+        self._finalize([p for p, _ in points], [owner for _, owner in points])
+
+    def _finalize(self, points: List[int], owners: List[str]) -> None:
+        self._points = points
+        self._owners = owners
         # Vectorized-lookup mirrors of the same sorted ring, with one
         # extra trailing slot so the wrap-around maps to owner 0's point.
         self._points_array = np.array(self._points, dtype=np.uint64)
@@ -50,9 +82,97 @@ class HashRing:
             dtype=np.int64,
         )
 
+    @classmethod
+    def _from_points(
+        cls,
+        shards: Tuple[str, ...],
+        points: List[int],
+        owners: List[str],
+        virtual_nodes: int,
+        version: int,
+    ) -> "HashRing":
+        ring = cls.__new__(cls)
+        ring.shards = shards
+        ring.virtual_nodes = virtual_nodes
+        ring.version = version
+        ring._finalize(points, owners)
+        return ring
+
+    # ------------------------------------------------------------------
+    # Versioned mutation (split / merge)
+    # ------------------------------------------------------------------
+
+    def _arc_of(self, position: int) -> Tuple[int, int]:
+        """The wrap-aware hash arc ``(prev_point, point]`` at *position*."""
+        prev = self._points[position - 1] if position else self._points[-1]
+        return (prev, self._points[position])
+
+    def arcs_of(self, shard: str) -> List[Tuple[int, int]]:
+        """Every hash arc *shard* currently owns (wrap-aware)."""
+        if shard not in self.shards:
+            raise ValueError(f"unknown shard {shard!r}")
+        return [
+            self._arc_of(i) for i, owner in enumerate(self._owners) if owner == shard
+        ]
+
+    def split(self, shard: str, new_shard: str) -> Tuple["HashRing", List[Tuple[int, int]]]:
+        """A new ring (version + 1) splitting *shard*'s range in two.
+
+        Every other of *shard*'s sorted vnode points is deterministically
+        reassigned to *new_shard* (appended to :attr:`shards`, so
+        existing shard indexes are stable).  Returns ``(new_ring,
+        moved)`` where *moved* is the list of hash arcs now owned by
+        *new_shard* — keys outside them keep their owner.
+        """
+        if shard not in self.shards:
+            raise ValueError(f"unknown shard {shard!r}")
+        if new_shard in self.shards:
+            raise ValueError(f"shard {new_shard!r} already on the ring")
+        positions = [i for i, owner in enumerate(self._owners) if owner == shard]
+        moved_positions = positions[::2]  # ceil(n/2) points, deterministic
+        owners = list(self._owners)
+        for i in moved_positions:
+            owners[i] = new_shard
+        ring = HashRing._from_points(
+            self.shards + (new_shard,),
+            list(self._points),
+            owners,
+            self.virtual_nodes,
+            self.version + 1,
+        )
+        return ring, [self._arc_of(i) for i in moved_positions]
+
+    def merge(self, shard: str, into: str) -> Tuple["HashRing", List[Tuple[int, int]]]:
+        """A new ring (version + 1) folding *shard*'s range into *into*.
+
+        All of *shard*'s vnode points are reassigned to *into* and
+        *shard* leaves :attr:`shards`.  Returns ``(new_ring, moved)``
+        with the arcs that changed owner.
+        """
+        if shard not in self.shards or into not in self.shards:
+            raise ValueError(f"both {shard!r} and {into!r} must be on the ring")
+        if shard == into:
+            raise ValueError("cannot merge a shard into itself")
+        positions = [i for i, owner in enumerate(self._owners) if owner == shard]
+        owners = list(self._owners)
+        for i in positions:
+            owners[i] = into
+        ring = HashRing._from_points(
+            tuple(name for name in self.shards if name != shard),
+            list(self._points),
+            owners,
+            self.virtual_nodes,
+            self.version + 1,
+        )
+        return ring, [self._arc_of(i) for i in positions]
+
     def shard_for(self, key: bytes) -> str:
         """The shard owning *key*: first ring point at or after its hash."""
-        index = bisect.bisect_left(self._points, _point(bytes(key)))
+        return self.owner_of_point(_point(bytes(key)))
+
+    def owner_of_point(self, point: int) -> str:
+        """The shard owning ring position *point* (wrap-aware)."""
+        index = bisect.bisect_left(self._points, point)
         if index == len(self._points):
             index = 0  # wrap around
         return self._owners[index]

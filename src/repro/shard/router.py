@@ -18,6 +18,7 @@ from repro.kv.client import KvClient
 from repro.net.fabric import Fabric
 from repro.net.host import Host
 from repro.obs import state as obs_state
+from repro.obs.stats import StatsSnapshot
 from repro.shard.service import ShardedKvService
 from repro.sim.units import MS
 
@@ -54,31 +55,62 @@ class ShardRouter:
             retry_backoff_us = durations["retry_backoff_us"]
         self.host = host
         self.service = service
+        self._fabric = fabric
+        self._client_kwargs = dict(
+            request_timeout_us=request_timeout_us,
+            max_rounds=max_rounds,
+            retry_backoff_us=retry_backoff_us,
+        )
+        self.ring_version = service.ring.version
+        self.cache_invalidations = 0
         self.clients: Dict[str, KvClient] = {
-            group.name: KvClient(
-                host,
-                fabric,
-                group,
-                request_timeout_us=request_timeout_us,
-                max_rounds=max_rounds,
-                retry_backoff_us=retry_backoff_us,
-            )
+            group.name: KvClient(host, fabric, group, **self._client_kwargs)
             for group in service.groups
         }
 
+    def _sync(self) -> None:
+        """Invalidate the per-shard client cache on a ring version bump.
+
+        Routers poll the version (one int compare on the hot path)
+        instead of subscribing: the service installs a new ring at
+        cutover and every router converges on its next operation.
+        Clients for surviving shards keep their warmed coordinator
+        caches; retired shards are dropped, new shards get fresh
+        clients.
+        """
+        ring = self.service.ring
+        if ring.version == self.ring_version:
+            return
+        alive = set(ring.shards)
+        for name in [name for name in self.clients if name not in alive]:
+            del self.clients[name]
+        for name in ring.shards:
+            if name not in self.clients:
+                self.clients[name] = KvClient(
+                    self.host,
+                    self._fabric,
+                    self.service._group(name),
+                    **self._client_kwargs,
+                )
+        self.ring_version = ring.version
+        self.cache_invalidations += 1
+
     def prefer(self, index: int) -> None:
         """Seed every per-shard client's preferred-coordinator cache."""
+        self._sync()
         for client in self.clients.values():
             client.prefer(index)
 
     def client_for(self, key: bytes) -> KvClient:
         """The per-shard client owning *key*."""
+        self._sync()
         return self.clients[self.service.shard_for(key)]
 
     # -- public API (all processes, same surface as KvClient) --------------------
 
     def put(self, key: bytes, value: bytes):
         """Process: store *value* under *key* on the owning shard."""
+        self._sync()
         shard = self.service.shard_for(key)
         started = self.host.sim.now
         result = yield from self.clients[shard].put(key, value)
@@ -90,6 +122,7 @@ class ShardRouter:
 
     def get(self, key: bytes):
         """Process: fetch *key* from the owning shard."""
+        self._sync()
         shard = self.service.shard_for(key)
         started = self.host.sim.now
         result = yield from self.clients[shard].get(key)
@@ -101,6 +134,7 @@ class ShardRouter:
 
     def delete(self, key: bytes):
         """Process: delete *key* on the owning shard."""
+        self._sync()
         shard = self.service.shard_for(key)
         started = self.host.sim.now
         result = yield from self.clients[shard].delete(key)
@@ -133,6 +167,26 @@ class ShardRouter:
             shard: client.stats["inflight_peak"]
             for shard, client in self.clients.items()
         }
+
+    def snapshot(self) -> StatsSnapshot:
+        """Aggregated router counters under the shared stats protocol."""
+        totals = self.stats
+        return StatsSnapshot(
+            kind="shard_router",
+            name=self.host.name,
+            counters={
+                "requests": float(totals.get("requests", 0)),
+                "retries": float(totals.get("retries", 0)),
+                "failures": float(totals.get("failures", 0)),
+                "cache_invalidations": float(self.cache_invalidations),
+            },
+            gauges={
+                "inflight": float(totals.get("inflight", 0)),
+                "inflight_peak": float(totals.get("inflight_peak", 0)),
+                "ring_version": float(self.ring_version),
+                "shards": float(len(self.clients)),
+            },
+        )
 
     def __repr__(self) -> str:
         return f"<ShardRouter {self.host.name} -> {len(self.clients)} shards>"

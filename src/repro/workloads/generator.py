@@ -18,6 +18,7 @@ __all__ = [
     "KeySampler",
     "ZipfSampler",
     "StripedZipfSampler",
+    "HotspotZipfSampler",
     "UniformSampler",
     "uniform_batch",
     "flip_batch",
@@ -191,6 +192,14 @@ class StripedZipfSampler(ZipfSampler):
     def key(self, index: int) -> bytes:
         return self._keys[index]
 
+    def all_keys(self) -> list:
+        """Every rendered key, indexed by key index (elastic-lane hook)."""
+        return self._keys
+
+    def key_index_batch(self, ranks: np.ndarray) -> np.ndarray:
+        """Key index per rank (identity here; hotspot samplers remap)."""
+        return ranks
+
     @property
     def n_shards(self) -> int:
         return len(self.ring.shards)
@@ -206,3 +215,58 @@ class StripedZipfSampler(ZipfSampler):
 
     def shard_name(self, index: int) -> str:
         return self.ring.shards[index]
+
+
+class HotspotZipfSampler(StripedZipfSampler):
+    """A striped Zipf sampler whose hot set can be re-aimed mid-run.
+
+    Popularity ranks are drawn exactly as in the parent (the arrival
+    RNG streams are untouched), but a rank-to-key-index permutation sits
+    between rank and rendered key.  :meth:`retarget` rewires the top
+    *hot_span* ranks onto key indices owned by one shard (under the
+    striping invariant ``index % G``), concentrating the popularity
+    mass there — the mid-run load shift behind ``figHotspot``.
+    Retargeting consumes no RNG and changes no already-drawn rank, so
+    two runs differing only in *when* (or whether) they retarget see
+    byte-identical arrival streams.
+    """
+
+    def __init__(self, n_keys: int, ring, theta: float = 0.99):
+        super().__init__(n_keys, ring, theta=theta)
+        self._map = np.arange(n_keys, dtype=np.int64)
+        self.hot_shard: int = -1
+        self.hot_span: int = 0
+
+    def key(self, index: int) -> bytes:
+        return self._keys[int(self._map[index])]
+
+    def key_index_batch(self, ranks: np.ndarray) -> np.ndarray:
+        return self._map[ranks]
+
+    def shard_index_batch(self, ranks: np.ndarray) -> np.ndarray:
+        """Owner per rank under the *striping* ring (``index % G``)."""
+        return self._map[ranks] % self.n_shards
+
+    def retarget(self, shard_index: int, hot_span: int) -> None:
+        """Swap the top *hot_span* ranks onto keys striped to one shard.
+
+        The permutation is built by pairwise swaps, so it stays a
+        bijection: every key index is still rendered by exactly one
+        rank, and cold ranks inherit the keys the hot ranks vacated.
+        """
+        n_shards = self.n_shards
+        if not 0 <= shard_index < n_shards:
+            raise ValueError(f"shard index {shard_index} out of range")
+        if not 0 <= hot_span <= self.n_keys // n_shards:
+            raise ValueError(f"hot span {hot_span} exceeds the shard's keys")
+        mapping = self._map
+        inverse = np.empty_like(mapping)
+        inverse[mapping] = np.arange(len(mapping), dtype=np.int64)
+        for rank in range(hot_span):
+            target = shard_index + n_shards * rank  # striped to shard_index
+            holder = inverse[target]
+            vacated = mapping[rank]
+            mapping[rank], mapping[holder] = target, vacated
+            inverse[target], inverse[vacated] = rank, holder
+        self.hot_shard = shard_index
+        self.hot_span = hot_span

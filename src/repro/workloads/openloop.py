@@ -331,6 +331,7 @@ class OpenLoopEngine:
         value_bytes: int = 992,
         name: str = "openloop",
         client_factory: Optional[Callable] = None,
+        elastic: bool = False,
     ):
         if offered_ops_per_sec < 0:
             raise ValueError("offered load must be non-negative")
@@ -362,6 +363,21 @@ class OpenLoopEngine:
             )
             for index, target in enumerate(self._targets)
         ]
+        # Elastic mode (opt-in, off for the committed fixed-topology
+        # baselines): follow the service's ring version, adding lanes and
+        # dispatchers for shards the control plane splits in, and route
+        # each arrival by its key's *current* owner instead of the
+        # striping invariant — keys whose arcs moved land on the new
+        # shard's lane the window after cutover.
+        self.elastic = elastic
+        self._ring_version = -1
+        self._lane_pos = {lane.name: lane.index for lane in self.lanes}
+        self._key_lane: Optional[np.ndarray] = None
+        if elastic:
+            if getattr(cluster, "ring", None) is None:
+                raise ValueError("elastic mode needs a sharded cluster")
+            if not hasattr(sampler, "all_keys"):
+                raise ValueError("elastic mode needs a striped key sampler")
         self._bucket = self.admission.bucket()
         self._seen = np.zeros(n_clients, dtype=bool)
         self.counts: Dict[str, int] = {
@@ -375,6 +391,7 @@ class OpenLoopEngine:
         self.measure_start_us = 0.0
         self.measure_end_us = 0.0
         self._slo_cache: Dict = {}
+        self._slo_phase: Optional[str] = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -383,17 +400,45 @@ class OpenLoopEngine:
         self.running = True
         self.sim.spawn(self._ticker(), name=f"{self.name}-ticker")
         for lane, target in zip(self.lanes, self._targets):
-            for slot in range(self.admission.max_inflight):
-                host = self.fabric.add_host(
-                    f"{self.name}-{lane.name}-d{slot}", cores=2
+            self._spawn_lane(lane, target)
+
+    def _spawn_lane(self, lane: "ShardLane", target) -> None:
+        for slot in range(self.admission.max_inflight):
+            host = self.fabric.add_host(
+                f"{self.name}-{lane.name}-d{slot}", cores=2
+            )
+            client = self._client_factory(host, self.fabric, target)
+            if hasattr(client, "prefer"):
+                client.prefer(slot)
+            host.spawn(
+                self._dispatcher(lane, client),
+                name=f"{self.name}-{lane.name}-d{slot}",
+            )
+
+    def _elastic_sync(self) -> None:
+        """Converge lanes and routing onto the service's current ring."""
+        ring = self.cluster.ring
+        if ring.version == self._ring_version:
+            return
+        for shard in ring.shards:
+            if shard not in self._lane_pos:
+                lane = ShardLane(
+                    self.sim, len(self.lanes), shard, self.admission.queue_limit
                 )
-                client = self._client_factory(host, self.fabric, target)
-                if hasattr(client, "prefer"):
-                    client.prefer(slot)
-                host.spawn(
-                    self._dispatcher(lane, client),
-                    name=f"{self.name}-{lane.name}-d{slot}",
-                )
+                self.lanes.append(lane)
+                self._lane_pos[shard] = lane.index
+                target = self.cluster._group(shard)
+                self._targets.append(target)
+                if self.running:
+                    self._spawn_lane(lane, target)
+        # Route by current ownership: one vectorized ring lookup over
+        # the (fixed) key table per ring version, then O(1) per arrival.
+        owners = ring.shard_index_batch(self.generator.sampler.all_keys())
+        positions = np.array(
+            [self._lane_pos[name] for name in ring.shards], dtype=np.int64
+        )
+        self._key_lane = positions[owners]
+        self._ring_version = ring.version
 
     def stop(self) -> None:
         """Stop generating; parked dispatchers exit, in-flight ops drain."""
@@ -401,8 +446,15 @@ class OpenLoopEngine:
         for lane in self.lanes:
             lane.kick()
 
-    def begin_measurement(self) -> None:
-        """Zero the accounting; subsequent completions are recorded."""
+    def begin_measurement(self, phase: Optional[str] = None) -> None:
+        """Zero the accounting; subsequent completions are recorded.
+
+        *phase* names the window: it rides along as an extra SLO-metric
+        label, so multi-window runs (figHotspot's before/after shift)
+        get independent tail histograms instead of one accumulated one.
+        Left unset, metric keys are unchanged from single-window runs.
+        """
+        self._slo_phase = phase
         for key in self.counts:
             self.counts[key] = 0
         for key in self.shed:
@@ -432,6 +484,28 @@ class OpenLoopEngine:
 
     def inflight_peaks(self) -> Dict[str, int]:
         return {lane.name: lane.inflight_peak for lane in self.lanes}
+
+    def snapshot(self):
+        """Engine accounting under the shared stats protocol."""
+        from repro.obs.stats import StatsSnapshot
+
+        counters = {key: float(value) for key, value in self.counts.items()}
+        for reason, value in self.shed.items():
+            counters[f"shed_{reason}"] = float(value)
+        for op, value in self.ops.items():
+            counters[f"completed_{op}"] = float(value)
+        return StatsSnapshot(
+            kind="openloop",
+            name=self.name,
+            counters=counters,
+            gauges={
+                "offered_ops_per_sec": float(self.offered_ops_per_sec),
+                "achieved_ops_per_sec": self.achieved_ops_per_sec(),
+                "clients_active": float(self.clients_active),
+                "lanes": float(len(self.lanes)),
+                "ring_version": float(self._ring_version),
+            },
+        )
 
     def slo_summary(self) -> Dict[str, Dict[str, dict]]:
         """``{shard: {op: SloHistogram.summary()}}`` for measured ops."""
@@ -476,6 +550,8 @@ class OpenLoopEngine:
 
     def _tick(self) -> None:
         """Draw one window's arrivals, admit, enqueue, wake lanes."""
+        if self.elastic:
+            self._elastic_sync()
         lam = self.offered_ops_per_sec * self.window_us / 1e6
         n = self.generator.window_count(lam)
         if self.measuring:
@@ -493,7 +569,13 @@ class OpenLoopEngine:
             if admitted == 0:
                 return
         now = self.sim.now
-        shards = batch.shards[:admitted]
+        if self._key_lane is not None:
+            key_indices = self.generator.sampler.key_index_batch(
+                batch.ranks[:admitted]
+            )
+            shards = self._key_lane[key_indices]
+        else:
+            shards = batch.shards[:admitted]
         for lane in self.lanes:
             lane_indices = np.flatnonzero(shards == lane.index)
             if not len(lane_indices):
@@ -555,8 +637,9 @@ class OpenLoopEngine:
             registry = obs_state.REGISTRY
             if registry is None:
                 return
-            histogram = registry.slo(
-                f"{self.name}.latency_us", op=op, shard=lane.name
-            )
+            labels = {"op": op, "shard": lane.name}
+            if self._slo_phase is not None:
+                labels["phase"] = self._slo_phase
+            histogram = registry.slo(f"{self.name}.latency_us", **labels)
             self._slo_cache[(lane.name, op)] = histogram
         histogram.observe(self.sim.now - enqueued_us)

@@ -66,6 +66,22 @@ def build_epaxos(fabric):
     return cluster
 
 
+def build_sharded(fabric):
+    from repro.kv import KvConfig
+    from repro.shard import ShardedKvService
+
+    kv_config = KvConfig(max_keys=256, wal_entries=128, watermark_interval=32)
+    service = ShardedKvService(
+        fabric,
+        shards=2,
+        backups=2,
+        kv_config=kv_config,
+        provisioning_delay_us=100 * MS,
+    )
+    service.start()
+    return service
+
+
 SYSTEMS = {
     "sift": build_sift,
     "raft": build_raft,
@@ -136,6 +152,43 @@ FAULTS = {
     "recovery-source-crash": source_crash_during_recovery,
     "recovery-failover": failover_during_recovery,
 }
+
+
+def _start_split(cluster):
+    # Probe hook: kick off a live split of the first shard while the
+    # recorded workload keeps running.  The manager rides the sim as a
+    # background process; the schedule then kills the split's source
+    # coordinator mid-flight.
+    from repro.control import MigrationManager
+
+    manager = MigrationManager.split(
+        cluster.fabric,
+        cluster,
+        cluster.ring.shards[0],
+        forward_window_us=50 * MS,
+        scan_page_buckets=16,
+    )
+    cluster.fabric.sim.spawn(manager.run(), name="chaos-migration")
+
+
+def migration_coordinator_crash():
+    # A split starts mid-schedule and its source coordinator dies while
+    # the copy/forward machinery runs: the manager must restart or
+    # re-install hooks on the promoted successor, and the history must
+    # stay linearizable with every acked write surviving.
+    return (
+        FaultSchedule()
+        .probe(250 * MS, _start_split, "start-split")
+        .crash_coordinator(253 * MS, shard=None, ring_version=0)
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"s{s}")
+def test_migration_chaos_cell(seed):
+    runner = ChaosRunner(build_sharded, migration_coordinator_crash(), seed=seed)
+    result = runner.run()  # raises ChaosError on any invariant violation
+    assert result.acked_puts > 0
+    assert result.ops > result.acked_puts
 
 
 @pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"s{s}")

@@ -145,7 +145,7 @@ class TestFailover:
         promo = service.pool.promotion_log[0]
         assert promo.group == shard
         # The promoted pool VM is now a member of the failed group.
-        members = [n.host.name for n in service.group(shard).cpu_nodes]
+        members = [n.host.name for n in service._group(shard).cpu_nodes]
         assert promo.host in members
 
     def test_idle_spare_promotes_without_wait(self):
